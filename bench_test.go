@@ -1,0 +1,274 @@
+package pop
+
+// Benchmark harness. Two tiers:
+//
+//   - BenchmarkFig*/BenchmarkTab* regenerate each of the paper's tables and
+//     figures end-to-end (solvers, virtual ranks, machine pricing) at
+//     bench-friendly grid sizes, so `go test -bench=.` exercises every
+//     experiment pipeline in minutes. The full-scale numbers in
+//     EXPERIMENTS.md come from `popbench -exp all` on the real 320×384 and
+//     3600×2400 grids.
+//
+//   - Benchmark{Matvec,EVP,...} measure the computational kernels the
+//     paper's cost model prices (stencil application, preconditioner
+//     application, halo exchange, tree reduction).
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/evp"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/stencil"
+)
+
+// benchConfig builds an experiment context on bench-size grids (same
+// pipelines, smaller axes).
+func benchConfig() *experiments.Config {
+	c := experiments.NewConfig(perfmodel.Yellowstone(), true, nil)
+	one := grid.TestSpec()
+	one.Nx, one.Ny = 64, 48
+	one.Name = "bench-1deg"
+	c.OverrideGrid("1deg", grid.Generate(one))
+	tenth := grid.TestSpec()
+	tenth.Nx, tenth.Ny = 90, 60
+	tenth.Name = "bench-0.1deg"
+	c.OverrideGrid("0.1deg", grid.Generate(tenth))
+	return c
+}
+
+func benchExperiment(b *testing.B, id string) {
+	for i := 0; i < b.N; i++ {
+		c := benchConfig()
+		if err := experiments.Run(id, c, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig01PercentChronGear(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig02ComponentTimes(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig03LanczosSteps(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig06Iterations(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig07OneDegScaling(b *testing.B)    { benchExperiment(b, "fig7") }
+func BenchmarkTab01TotalImprovement(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkFig08TenthDegScaling(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig09PercentPCSI(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10ReduceAndHalo(b *testing.B)    { benchExperiment(b, "fig10") }
+func BenchmarkFig11Edison(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkEVPSetupCost(b *testing.B)          { benchExperiment(b, "evpsetup") }
+
+func BenchmarkFig12RMSETolerances(b *testing.B) {
+	if testing.Short() {
+		b.Skip("ensemble bench skipped in -short")
+	}
+	benchExperiment(b, "fig12")
+}
+
+func BenchmarkFig13RMSZEnsemble(b *testing.B) {
+	if testing.Short() {
+		b.Skip("ensemble bench skipped in -short")
+	}
+	benchExperiment(b, "fig13")
+}
+
+// ---- kernel benchmarks ----
+
+func benchGridOp(b *testing.B) (*Grid, *Operator) {
+	b.Helper()
+	g, err := NewGrid(GridTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, AssembleOperator(g, 1920)
+}
+
+func BenchmarkStencilApply(b *testing.B) {
+	g, op := benchGridOp(b)
+	x := make([]float64, g.N())
+	y := make([]float64, g.N())
+	for k := range x {
+		x[k] = float64(k % 7)
+	}
+	b.SetBytes(int64(g.N() * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op.Apply(y, x)
+	}
+}
+
+// preconditioner application cost: the paper's O(22n²) EVP vs O(n⁴)-setup
+// dense LU comparison on one 8×8 block.
+func BenchmarkEVPBlockSolve(b *testing.B)           { benchBlockPrecond(b, false) }
+func BenchmarkEVPBlockSolveSimplified(b *testing.B) { benchBlockPrecond(b, true) }
+
+func benchBlockPrecond(b *testing.B, simplified bool) {
+	g := grid.NewFlatBasin(32, 32, 3000, 1e4, 1.1e4)
+	win := stencil.AssembleWindowFilled(g, stencil.PhiFromTimeStep(600), 8, 8, 8, 8, 50)
+	sol, err := evp.NewBlockSolver(win, simplified)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := win.NxP * win.NyP
+	psi := make([]float64, n)
+	x := make([]float64, n)
+	for k := range psi {
+		psi[k] = float64(k % 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol.Solve(x, psi)
+	}
+}
+
+func BenchmarkHaloExchange(b *testing.B) {
+	g := grid.NewFlatBasin(64, 48, 1000, 1e4, 1e4)
+	d, err := decomp.New(g, 16, 12, decomp.DefaultHalo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.AssignOnePerRank()
+	w, err := comm.NewWorld(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(r *comm.Rank) {
+			fields := make([][]float64, len(r.Blocks))
+			for bi, blk := range r.Blocks {
+				nxp, nyp := d.PaddedDims(blk)
+				fields[bi] = make([]float64, nxp*nyp)
+			}
+			r.Exchange(fields)
+		})
+	}
+}
+
+func BenchmarkAllReduce64Ranks(b *testing.B) {
+	g := grid.NewFlatBasin(64, 64, 1000, 1e4, 1e4)
+	d, err := decomp.New(g, 8, 8, decomp.DefaultHalo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.AssignOnePerRank()
+	w, err := comm.NewWorld(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Run(func(r *comm.Rank) {
+			r.AllReduce([]float64{1, 2})
+		})
+	}
+}
+
+func benchSolve(b *testing.B, method, precond string) {
+	g, op := benchGridOp(b)
+	xTrue := make([]float64, g.N())
+	for k, ocean := range g.Mask {
+		if ocean {
+			xTrue[k] = math.Sin(float64(k))
+		}
+	}
+	rhs := make([]float64, g.N())
+	op.Apply(rhs, xTrue)
+	for k, ocean := range g.Mask {
+		if !ocean {
+			rhs[k] = 0
+		}
+	}
+	s, err := NewSolver(g, SolverSpec{Method: method, Precond: precond, Cores: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := s.Solve(rhs, nil); err != nil { // setup outside timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(rhs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveChronGearDiag(b *testing.B) { benchSolve(b, "chrongear", "diagonal") }
+func BenchmarkSolveChronGearEVP(b *testing.B)  { benchSolve(b, "chrongear", "evp") }
+func BenchmarkSolvePipeCGDiag(b *testing.B)    { benchSolve(b, "pipecg", "diagonal") }
+func BenchmarkSolvePCSIDiag(b *testing.B)      { benchSolve(b, "pcsi", "diagonal") }
+func BenchmarkSolvePCSIEVP(b *testing.B)       { benchSolve(b, "pcsi", "evp") }
+
+func BenchmarkModelStep(b *testing.B) {
+	g, err := NewGrid(GridTest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewModel(ModelConfig{Grid: g, Solver: model.SolverChronGear,
+		SolverOpts: core.Options{Precond: core.PrecondDiagonal}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Run(3); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: EVP sub-block size vs iterations and per-solve virtual cost —
+// the design-choice study DESIGN.md calls out (the paper fixes ≤12×12).
+func BenchmarkAblationEVPBlockSize(b *testing.B) {
+	g, op := benchGridOp(b)
+	rhs := make([]float64, g.N())
+	xTrue := make([]float64, g.N())
+	for k, ocean := range g.Mask {
+		if ocean {
+			xTrue[k] = math.Cos(float64(k) / 17)
+		}
+	}
+	op.Apply(rhs, xTrue)
+	for k, ocean := range g.Mask {
+		if !ocean {
+			rhs[k] = 0
+		}
+	}
+	for _, size := range []int{4, 8, 12} {
+		b.Run(sizeName(size), func(b *testing.B) {
+			s, err := NewSolver(g, SolverSpec{Method: "pcsi", Precond: "evp", Cores: 12,
+				MachineName: "ideal", Options: SolverOptions{EVPBlockSize: size}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var iters int
+			var virtual float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, _, err := s.Solve(rhs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters = res.Iterations
+				virtual = res.Stats.MaxClock
+			}
+			b.ReportMetric(float64(iters), "iters")
+			b.ReportMetric(virtual*1e3, "virtual-ms")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	return string(rune('0'+n/10)) + string(rune('0'+n%10)) + "x" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

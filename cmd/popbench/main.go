@@ -1,0 +1,91 @@
+// Command popbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	popbench -exp fig8 -machine yellowstone        # one experiment, full scale
+//	popbench -exp all -quick                       # everything, reduced scale
+//	popbench -list                                 # available experiment ids
+//
+// Full-scale 0.1° sweeps execute millions of real solver iterations across
+// up to ~17k virtual ranks and take tens of minutes on one machine; -quick
+// runs the same code paths on reduced grids in a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig1..fig13, tab1, evpsetup, or 'all')")
+		machine = flag.String("machine", "yellowstone", "machine model: yellowstone, edison, ideal")
+		quick   = flag.Bool("quick", false, "reduced-scale grids and core counts")
+		verbose = flag.Bool("v", true, "progress logging")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		targets = flag.String("targets", "", "comma-separated 0.1deg core-count targets overriding the paper axis")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var m *perfmodel.Machine
+	switch *machine {
+	case "yellowstone":
+		m = perfmodel.Yellowstone()
+	case "edison":
+		m = perfmodel.Edison()
+	case "ideal":
+		m = perfmodel.Ideal()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown machine %q\n", *machine)
+		os.Exit(2)
+	}
+
+	cfg := experiments.NewConfig(m, *quick, os.Stderr)
+	cfg.Verbose = *verbose
+	if *targets != "" {
+		var ts []int
+		for _, part := range strings.Split(*targets, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -targets entry %q\n", part)
+				os.Exit(2)
+			}
+			ts = append(ts, v)
+		}
+		cfg.TargetOverride = map[string][]int{"0.1deg": ts}
+	}
+
+	failed := false
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := experiments.Run(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "# %s done in %s\n", id, time.Since(start).Round(time.Second))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

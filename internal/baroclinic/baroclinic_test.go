@@ -1,0 +1,104 @@
+package baroclinic
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/perfmodel"
+)
+
+func testSetup(t *testing.T, cost comm.CostModel) (*decomp.Decomposition, *comm.World) {
+	t.Helper()
+	g := grid.Generate(grid.TestSpec())
+	d, err := decomp.New(g, 16, 12, decomp.DefaultHalo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AssignOnePerRank()
+	w, err := comm.NewWorld(d, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, w
+}
+
+func TestStepChargesFullLevels(t *testing.T) {
+	d, w := testSetup(t, nil)
+	b, err := New(d, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Step()
+	var interior int64
+	for _, id := range d.OceanBlocks {
+		blk := d.Blocks[id]
+		interior += int64(blk.NxI * blk.NyI)
+	}
+	want := interior * DefaultNZ * DefaultLevelFlops
+	if st.Sum.Flops != want {
+		t.Fatalf("charged %d flops, want %d", st.Sum.Flops, want)
+	}
+}
+
+func TestExchangesAggregated(t *testing.T) {
+	d, w := testSetup(t, nil)
+	b, err := New(d, w, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.Step()
+	// Messages: Exchanges rounds per step, each a single aggregated update
+	// (no per-level messages). Compare against one plain exchange.
+	probe := w.Run(func(r *comm.Rank) {
+		fields := make([][]float64, len(r.Blocks))
+		for i, blk := range r.Blocks {
+			nxp, nyp := d.PaddedDims(blk)
+			fields[i] = make([]float64, nxp*nyp)
+		}
+		r.Exchange(fields)
+	})
+	if st.Sum.HaloMsgs != int64(DefaultExchanges)*probe.Sum.HaloMsgs {
+		t.Fatalf("messages %d, want %d×%d", st.Sum.HaloMsgs, DefaultExchanges, probe.Sum.HaloMsgs)
+	}
+	if st.Sum.HaloBytes != int64(DefaultExchanges)*10*probe.Sum.HaloBytes {
+		t.Fatalf("bytes %d, want %d", st.Sum.HaloBytes, int64(DefaultExchanges)*10*probe.Sum.HaloBytes)
+	}
+}
+
+func TestBaroclinicScalesNearPerfectly(t *testing.T) {
+	// The virtual compute time per step must drop ~linearly with rank
+	// count (the property that makes the barotropic solver the bottleneck
+	// at scale — Figure 1's premise).
+	g := grid.Generate(grid.TestSpec())
+	timeFor := func(bx, by int) (float64, int) {
+		d, err := decomp.New(g, bx, by, decomp.DefaultHalo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.AssignOnePerRank()
+		w, _ := comm.NewWorld(d, perfmodel.Ideal())
+		b, _ := New(d, w, 0)
+		st := b.Step()
+		return st.MaxClock, d.NRanks
+	}
+	tBig, pBig := timeFor(32, 24)
+	tSmall, pSmall := timeFor(8, 8)
+	if pSmall <= pBig {
+		t.Fatalf("expected more ranks with smaller blocks: %d vs %d", pSmall, pBig)
+	}
+	speedup := tBig / tSmall
+	ideal := float64(pSmall) / float64(pBig)
+	if speedup < 0.4*ideal {
+		t.Fatalf("baroclinic speedup %.2f far from ideal %.2f", speedup, ideal)
+	}
+}
+
+func TestUnassignedDecomposition(t *testing.T) {
+	g := grid.Generate(grid.TestSpec())
+	d, _ := decomp.New(g, 16, 12, decomp.DefaultHalo)
+	if _, err := New(d, nil, 0); err == nil {
+		t.Fatal("accepted unassigned decomposition")
+	}
+}

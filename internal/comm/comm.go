@@ -1,0 +1,241 @@
+// Package comm is the communication substrate that stands in for MPI: a
+// virtual-rank runtime executing SPMD rank programs as goroutines, with
+// channel-based halo exchange between decomposition blocks and deterministic
+// binomial-tree global reductions.
+//
+// Two properties matter for the reproduction:
+//
+//   - Numerics are bitwise deterministic. Global sums are combined in a
+//     fixed binomial-tree association independent of goroutine scheduling,
+//     so a solve at p ranks is reproducible run to run (and the reduction
+//     pattern matches what the paper's MPI_Allreduce performs).
+//
+//   - Every rank carries a *virtual clock* advanced by a pluggable
+//     CostModel (flop time θ, point-to-point latency α and inverse
+//     bandwidth β, tree-reduction cost with optional contention noise).
+//     The real algorithms run and real event counts are priced, which is
+//     how this repo regenerates the paper's Yellowstone/Edison scaling
+//     figures on a single machine (see DESIGN.md §2).
+//
+// Reductions synchronize virtual clocks exactly like MPI_Allreduce
+// synchronizes real ones: the reduced payload carries the maximum entry
+// clock, and every rank leaves the reduction at max + tree cost. Halo
+// exchanges advance the receiver to max(own, sender) plus per-message
+// latency/bandwidth charges.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/decomp"
+)
+
+// CostModel prices virtual time. Implementations live in perfmodel; the
+// zero-cost FreeModel below is used when only numerics matter.
+type CostModel interface {
+	// FlopTime returns the time for rank to execute n floating-point
+	// operations. seq is the rank's compute-phase sequence number; models
+	// use (rank, seq) to draw deterministic OS-noise jitter, whose maximum
+	// over ranks is what inflates reduction waits at scale (paper §5.2).
+	FlopTime(n int64, rank int, seq int64) float64
+	// P2PTime returns the time to deliver one point-to-point message of
+	// the given payload size (α + β·bytes).
+	P2PTime(bytes int64) float64
+	// ReduceTime returns the tree cost of one p-rank allreduce (excluding
+	// the wait for the slowest rank, which the runtime accounts directly);
+	// seq is the global reduction sequence number, used to draw
+	// deterministic network-contention noise.
+	ReduceTime(p int, seq int64) float64
+}
+
+// FreeModel is a CostModel under which everything is instantaneous.
+type FreeModel struct{}
+
+func (FreeModel) FlopTime(int64, int, int64) float64 { return 0 }
+func (FreeModel) P2PTime(int64) float64              { return 0 }
+func (FreeModel) ReduceTime(int, int64) float64      { return 0 }
+
+// Counters accumulates per-rank event counts and virtual time per component,
+// mirroring the POP timers the paper reports (computation, boundary
+// updating, global reduction — §2.2).
+type Counters struct {
+	Flops      int64
+	HaloMsgs   int64
+	HaloBytes  int64
+	Reductions int64
+
+	TComp   float64 // virtual seconds in computation
+	THalo   float64 // virtual seconds in boundary updates (incl. waits)
+	TReduce float64 // virtual seconds in global reductions (incl. waits)
+}
+
+// Clock returns the rank's total virtual time.
+func (c *Counters) Clock() float64 { return c.TComp + c.THalo + c.TReduce }
+
+// Add accumulates other into c (used to aggregate ranks or phases).
+func (c *Counters) Add(o Counters) {
+	c.Flops += o.Flops
+	c.HaloMsgs += o.HaloMsgs
+	c.HaloBytes += o.HaloBytes
+	c.Reductions += o.Reductions
+	c.TComp += o.TComp
+	c.THalo += o.THalo
+	c.TReduce += o.TReduce
+}
+
+// World is a communicator over the ocean blocks of a decomposition.
+type World struct {
+	D     *decomp.Decomposition
+	Cost  CostModel
+	NRank int
+
+	reduceCh []chan []float64 // per-rank outbox for the reduction up-phase
+	bcastCh  []chan []float64 // per-rank inbox for the broadcast down-phase
+	haloCh   map[haloKey]chan haloMsg
+}
+
+type haloKey struct {
+	dstBlock int
+	side     int // side of the receiving block the data lands on
+}
+
+type haloMsg struct {
+	data  []float64
+	clock float64
+}
+
+// Sides of a block, from the receiver's point of view.
+const (
+	SideE = iota
+	SideW
+	SideN
+	SideS
+)
+
+// NewWorld builds a communicator for a decomposition whose blocks have
+// already been assigned to ranks (Assign or AssignOnePerRank).
+func NewWorld(d *decomp.Decomposition, cost CostModel) (*World, error) {
+	if d.NRanks == 0 {
+		return nil, fmt.Errorf("comm: decomposition has no rank assignment")
+	}
+	if cost == nil {
+		cost = FreeModel{}
+	}
+	w := &World{D: d, Cost: cost, NRank: d.NRanks}
+	w.reduceCh = make([]chan []float64, w.NRank)
+	w.bcastCh = make([]chan []float64, w.NRank)
+	for r := range w.reduceCh {
+		w.reduceCh[r] = make(chan []float64, 1)
+		w.bcastCh[r] = make(chan []float64, 1)
+	}
+	// One buffered channel per (receiving block, side) that has a live
+	// neighbor on a different rank.
+	w.haloCh = make(map[haloKey]chan haloMsg)
+	for _, id := range d.OceanBlocks {
+		b := &d.Blocks[id]
+		for side, off := range sideOffsets {
+			nb := d.NeighborID(b, off[0], off[1])
+			if nb < 0 || d.Blocks[nb].Rank == b.Rank {
+				continue
+			}
+			w.haloCh[haloKey{id, side}] = make(chan haloMsg, 1)
+		}
+	}
+	return w, nil
+}
+
+// sideOffsets maps a receiving side to the block-grid offset of the sender.
+var sideOffsets = [4][2]int{
+	SideE: {1, 0},
+	SideW: {-1, 0},
+	SideN: {0, 1},
+	SideS: {0, -1},
+}
+
+// Rank is the per-rank handle passed to SPMD programs.
+type Rank struct {
+	ID     int
+	World  *World
+	Blocks []*decomp.Block // owned blocks, in ByRank order
+
+	ctr       Counters
+	clock     float64
+	reduceSeq int64
+	flopSeq   int64
+}
+
+// Counters returns a snapshot of the rank's accumulated counters.
+func (r *Rank) Counters() Counters { return r.ctr }
+
+// ResetCounters zeroes the counters and virtual clock — used between
+// experiment phases (e.g. to time Lanczos setup apart from solves).
+func (r *Rank) ResetCounters() {
+	r.ctr = Counters{}
+	r.clock = 0
+}
+
+// Clock returns the rank's current virtual time.
+func (r *Rank) Clock() float64 { return r.clock }
+
+// AddFlops charges n floating-point operations of computation.
+func (r *Rank) AddFlops(n int64) {
+	r.ctr.Flops += n
+	dt := r.World.Cost.FlopTime(n, r.ID, r.flopSeq)
+	r.flopSeq++
+	r.ctr.TComp += dt
+	r.clock += dt
+}
+
+// Stats is the aggregate result of one World.Run.
+type Stats struct {
+	MaxClock float64    // completion time: slowest rank's virtual clock
+	Sum      Counters   // counters summed over ranks
+	PerRank  []Counters // per-rank snapshots
+}
+
+// MeanCounters returns the per-rank average of the summed counters.
+func (s *Stats) MeanCounters() Counters {
+	n := float64(len(s.PerRank))
+	c := s.Sum
+	c.TComp /= n
+	c.THalo /= n
+	c.TReduce /= n
+	return c
+}
+
+// Run executes program on every rank concurrently and returns aggregated
+// statistics. Programs must make collective calls (AllReduce, Exchange,
+// Barrier) in the same order on every rank, exactly as MPI requires.
+func (w *World) Run(program func(*Rank)) Stats {
+	ranks := make([]*Rank, w.NRank)
+	for rid := 0; rid < w.NRank; rid++ {
+		blocks := make([]*decomp.Block, len(w.D.ByRank[rid]))
+		for i, bid := range w.D.ByRank[rid] {
+			blocks[i] = &w.D.Blocks[bid]
+		}
+		ranks[rid] = &Rank{ID: rid, World: w, Blocks: blocks}
+	}
+	if w.NRank == 1 {
+		program(ranks[0])
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(w.NRank)
+		for _, rk := range ranks {
+			go func(rk *Rank) {
+				defer wg.Done()
+				program(rk)
+			}(rk)
+		}
+		wg.Wait()
+	}
+	st := Stats{PerRank: make([]Counters, w.NRank)}
+	for rid, rk := range ranks {
+		st.PerRank[rid] = rk.ctr
+		st.Sum.Add(rk.ctr)
+		if rk.clock > st.MaxClock {
+			st.MaxClock = rk.clock
+		}
+	}
+	return st
+}

@@ -1,0 +1,194 @@
+package comm
+
+// Halo exchange. POP updates block halos in two phases — east/west columns
+// first, then north/south rows that span the full padded width including the
+// freshly received columns — so corner values from diagonal neighbour blocks
+// arrive in two hops and each block sends/receives only four messages per
+// update, the 4α term in the paper's boundary-cost model (§2.2).
+
+// Exchange refreshes the halos of one distributed field. fields[i] is the
+// padded local array for r.Blocks[i]. Collective: every rank must call
+// Exchange in the same program order.
+func (r *Rank) Exchange(fields [][]float64) {
+	r.ExchangeMulti([][][]float64{fields})
+}
+
+// ExchangeMulti refreshes the halos of several fields (e.g. the levels of a
+// 3-D field) in one aggregated update: each neighbour receives a single
+// message carrying every level's strip, paying the latency α once and the
+// bandwidth β per level — exactly how POP aggregates its 3-D halo updates.
+// levels[L][i] is level L's padded array for r.Blocks[i].
+func (r *Rank) ExchangeMulti(levels [][][]float64) {
+	for _, fields := range levels {
+		if len(fields) != len(r.Blocks) {
+			panic("comm: Exchange fields/blocks length mismatch")
+		}
+	}
+	r.exchangePhase(levels, SideE, SideW)
+	r.exchangePhase(levels, SideN, SideS)
+}
+
+// exchangePhase handles one direction pair: sideA/sideB are the receiving
+// sides (e.g. SideE means "my east halo", filled by my east neighbour).
+func (r *Rank) exchangePhase(levels [][][]float64, sideA, sideB int) {
+	w := r.World
+	d := w.D
+	entry := r.clock
+
+	// Send to every cross-rank neighbour first (non-blocking: channels hold
+	// one message and each carries exactly one per phase), then satisfy
+	// same-rank neighbours with direct copies, then drain receives.
+	for i, b := range r.Blocks {
+		for _, side := range [2]int{sideA, sideB} {
+			off := sideOffsets[side]
+			nb := d.NeighborID(b, off[0], off[1])
+			if nb < 0 {
+				continue // domain edge or land block: halo keeps zeros
+			}
+			nbBlock := &d.Blocks[nb]
+			// My block is on the opposite side of the neighbour.
+			nbSide := opposite(side)
+			if nbBlock.Rank == r.ID {
+				continue // handled by the local-copy pass below
+			}
+			// One aggregated message: all levels' strips concatenated.
+			var data []float64
+			for _, fields := range levels {
+				data = append(data, extractStrip(fields[i], b.NxI, b.NyI, d.Halo, side)...)
+			}
+			w.haloCh[haloKey{nb, nbSide}] <- haloMsg{data: data, clock: r.clock}
+		}
+	}
+
+	// Same-rank neighbour copies (free in the cost model: intra-node).
+	for i, b := range r.Blocks {
+		for _, side := range [2]int{sideA, sideB} {
+			off := sideOffsets[side]
+			nb := d.NeighborID(b, off[0], off[1])
+			if nb < 0 || d.Blocks[nb].Rank != r.ID {
+				continue
+			}
+			j := r.blockIndex(nb)
+			nbBlock := r.Blocks[j]
+			for _, fields := range levels {
+				strip := extractStrip(fields[j], nbBlock.NxI, nbBlock.NyI, d.Halo, opposite(side))
+				insertStrip(fields[i], b.NxI, b.NyI, d.Halo, side, strip)
+			}
+		}
+	}
+
+	// Receives: fill halos, tracking sender clocks and message costs.
+	arrival := r.clock
+	var charge float64
+	for i, b := range r.Blocks {
+		for _, side := range [2]int{sideA, sideB} {
+			off := sideOffsets[side]
+			nb := d.NeighborID(b, off[0], off[1])
+			if nb < 0 || d.Blocks[nb].Rank == r.ID {
+				continue
+			}
+			m := <-w.haloCh[haloKey{b.ID, side}]
+			stripLen := len(m.data) / len(levels)
+			for li, fields := range levels {
+				insertStrip(fields[i], b.NxI, b.NyI, d.Halo, side, m.data[li*stripLen:(li+1)*stripLen])
+			}
+			if m.clock > arrival {
+				arrival = m.clock
+			}
+			bytes := int64(len(m.data) * 8)
+			r.ctr.HaloMsgs++
+			r.ctr.HaloBytes += bytes
+			charge += w.Cost.P2PTime(bytes)
+		}
+	}
+	r.clock = arrival + charge
+	r.ctr.THalo += r.clock - entry
+}
+
+// opposite maps a receiving side to the sender's receiving side.
+func opposite(side int) int {
+	switch side {
+	case SideE:
+		return SideW
+	case SideW:
+		return SideE
+	case SideN:
+		return SideS
+	default:
+		return SideN
+	}
+}
+
+// extractStrip copies the interior edge strip that a neighbour on the given
+// side needs. E/W strips cover interior rows only; N/S strips span the full
+// padded width so corners propagate (two-phase scheme).
+//
+// "side" here is the side of THIS block facing the neighbour: to fill a
+// neighbour's west halo we extract from our... — callers pass the side of
+// the *receiving* halo on the neighbour via opposite(), so this function is
+// given the side of this block from which data leaves.
+func extractStrip(f []float64, nxi, nyi, h, side int) []float64 {
+	nxp := nxi + 2*h
+	switch side {
+	case SideW: // my west interior columns [h, 2h) → neighbour's east halo
+		s := make([]float64, h*nyi)
+		for j := 0; j < nyi; j++ {
+			copy(s[j*h:(j+1)*h], f[(j+h)*nxp+h:(j+h)*nxp+2*h])
+		}
+		return s
+	case SideE: // my east interior columns [nxp-2h, nxp-h)
+		s := make([]float64, h*nyi)
+		for j := 0; j < nyi; j++ {
+			copy(s[j*h:(j+1)*h], f[(j+h)*nxp+nxp-2*h:(j+h)*nxp+nxp-h])
+		}
+		return s
+	case SideS: // my south interior rows [h, 2h), full padded width
+		s := make([]float64, h*nxp)
+		for j := 0; j < h; j++ {
+			copy(s[j*nxp:(j+1)*nxp], f[(j+h)*nxp:(j+h+1)*nxp])
+		}
+		return s
+	default: // SideN: my north interior rows [nyp-2h, nyp-h)
+		nyp := nyi + 2*h
+		s := make([]float64, h*nxp)
+		for j := 0; j < h; j++ {
+			copy(s[j*nxp:(j+1)*nxp], f[(nyp-2*h+j)*nxp:(nyp-2*h+j+1)*nxp])
+		}
+		return s
+	}
+}
+
+// insertStrip writes a received strip into the halo on the given side of
+// this block.
+func insertStrip(f []float64, nxi, nyi, h, side int, s []float64) {
+	nxp := nxi + 2*h
+	switch side {
+	case SideE: // east halo columns [nxp-h, nxp)
+		for j := 0; j < nyi; j++ {
+			copy(f[(j+h)*nxp+nxp-h:(j+h)*nxp+nxp], s[j*h:(j+1)*h])
+		}
+	case SideW: // west halo columns [0, h)
+		for j := 0; j < nyi; j++ {
+			copy(f[(j+h)*nxp:(j+h)*nxp+h], s[j*h:(j+1)*h])
+		}
+	case SideN: // north halo rows [nyp-h, nyp)
+		nyp := nyi + 2*h
+		for j := 0; j < h; j++ {
+			copy(f[(nyp-h+j)*nxp:(nyp-h+j+1)*nxp], s[j*nxp:(j+1)*nxp])
+		}
+	default: // SideS: south halo rows [0, h)
+		for j := 0; j < h; j++ {
+			copy(f[j*nxp:(j+1)*nxp], s[j*nxp:(j+1)*nxp])
+		}
+	}
+}
+
+// blockIndex returns the position of blockID within r.Blocks.
+func (r *Rank) blockIndex(blockID int) int {
+	for i, b := range r.Blocks {
+		if b.ID == blockID {
+			return i
+		}
+	}
+	panic("comm: block not owned by rank")
+}

@@ -1,0 +1,102 @@
+package comm
+
+// Global reductions. The combine order is a fixed binomial tree over rank
+// IDs — the same association an MPI_Allreduce on a power-of-two communicator
+// performs — so results are bitwise reproducible regardless of goroutine
+// scheduling, and the virtual cost grows as log(p)·α exactly like the
+// paper's Eq. 2 term.
+
+// AllReduce sums vals element-wise across all ranks and returns the global
+// result (a fresh slice). It also synchronizes virtual clocks: every rank
+// leaves at max(entry clocks) + ReduceTime. Collective: every rank must call
+// it the same number of times with equal-length arguments.
+func (r *Rank) AllReduce(vals []float64) []float64 {
+	w := r.World
+	p := w.NRank
+	entry := r.clock
+	seq := r.reduceSeq
+	r.reduceSeq++
+	r.ctr.Reductions++
+
+	n := len(vals)
+	partial := make([]float64, n+1)
+	copy(partial, vals)
+	partial[n] = r.clock // reduced with max, not sum
+
+	var result []float64
+	if p == 1 {
+		result = partial
+	} else {
+		// Up phase: fold children into this rank, low step first.
+		parent := -1
+		var children []int
+		for s := 1; s < p; s <<= 1 {
+			if r.ID&s != 0 {
+				parent = r.ID - s
+				break
+			}
+			if r.ID+s < p {
+				child := r.ID + s
+				children = append(children, child)
+				m := <-w.reduceCh[child]
+				for i := 0; i < n; i++ {
+					partial[i] += m[i]
+				}
+				if m[n] > partial[n] {
+					partial[n] = m[n]
+				}
+			}
+		}
+		if parent >= 0 {
+			w.reduceCh[r.ID] <- partial
+			result = <-w.bcastCh[r.ID]
+		} else {
+			result = partial
+		}
+		// Down phase: forward to children, largest subtree first.
+		for i := len(children) - 1; i >= 0; i-- {
+			w.bcastCh[children[i]] <- result
+		}
+	}
+
+	newClock := result[n] + w.Cost.ReduceTime(p, seq)
+	r.ctr.TReduce += newClock - entry
+	r.clock = newClock
+
+	out := make([]float64, n)
+	copy(out, result)
+	return out
+}
+
+// Barrier blocks until every rank reaches it (an empty AllReduce).
+func (r *Rank) Barrier() { r.AllReduce(nil) }
+
+// AllReduceOverlap is AllReduce with communication/computation overlap
+// pricing: overlapFlops of local work proceed *during* the reduction (the
+// pipelined-CG trick of Ghysels & Vanroose, paper §7), so the rank leaves
+// at max(reduction completion, own clock + compute time). The caller must
+// perform the overlapped arithmetic right after this returns, without
+// charging it again through AddFlops.
+func (r *Rank) AllReduceOverlap(vals []float64, overlapFlops int64) []float64 {
+	w := r.World
+	entry := r.clock
+	flopT := w.Cost.FlopTime(overlapFlops, r.ID, r.flopSeq)
+	r.flopSeq++
+	r.ctr.Flops += overlapFlops
+
+	out := r.AllReduce(vals)
+	// AllReduce advanced the clock to maxEntry+tree and charged the whole
+	// gap to TReduce; re-attribute: compute hides under the reduction.
+	reduceExit := r.clock
+	exit := reduceExit
+	if entry+flopT > exit {
+		exit = entry + flopT
+	}
+	r.ctr.TComp += flopT
+	r.ctr.TReduce -= reduceExit - entry // undo AllReduce's attribution
+	if red := exit - entry - flopT; red > 0 {
+		r.ctr.TReduce += red
+	}
+	r.clock = exit
+	return out
+}

@@ -1,0 +1,555 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/linalg"
+	"repro/internal/stencil"
+)
+
+// fixture bundles a grid/operator/decomposition/world for solver tests.
+type fixture struct {
+	g  *grid.Grid
+	op *stencil.Operator
+	d  *decomp.Decomposition
+	w  *comm.World
+	b  []float64
+}
+
+// newFixture builds a solver test problem. tau controls conditioning: the
+// larger it is, the smaller the mass term and the harder the solve.
+func newFixture(t *testing.T, g *grid.Grid, bx, by int, tau float64) *fixture {
+	t.Helper()
+	op := stencil.Assemble(g, stencil.PhiFromTimeStep(tau))
+	d, err := decomp.New(g, bx, by, decomp.DefaultHalo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AssignOnePerRank()
+	w, err := comm.NewWorld(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2023))
+	b := make([]float64, g.N())
+	for k := range b {
+		if g.Mask[k] {
+			b[k] = rng.NormFloat64()
+		}
+	}
+	return &fixture{g: g, op: op, d: d, w: w, b: b}
+}
+
+func testFixture(t *testing.T) *fixture {
+	return newFixture(t, grid.Generate(grid.TestSpec()), 16, 12, 20000)
+}
+
+func (f *fixture) session(t *testing.T, opts Options) *Session {
+	t.Helper()
+	s, err := NewSession(f.g, f.op, f.d, f.w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// denseReference solves the full system directly (small grids only).
+func (f *fixture) denseReference(t *testing.T) []float64 {
+	t.Helper()
+	dm := f.op.Dense()
+	lu, err := linalg.Factor(dm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, len(f.b))
+	copy(x, f.b)
+	lu.Solve(x)
+	return x
+}
+
+func maxOceanErr(g *grid.Grid, got, want []float64) float64 {
+	var m, scale float64
+	for k := range want {
+		if !g.Mask[k] {
+			continue
+		}
+		if a := math.Abs(want[k]); a > scale {
+			scale = a
+		}
+	}
+	for k := range want {
+		if !g.Mask[k] {
+			continue
+		}
+		if d := math.Abs(got[k] - want[k]); d > m {
+			m = d
+		}
+	}
+	return m / scale
+}
+
+type solveFunc func(s *Session, b, x0 []float64) (Result, []float64, error)
+
+var allSolvers = map[string]solveFunc{
+	"chrongear": (*Session).SolveChronGear,
+	"pcg":       (*Session).SolvePCG,
+	"pcsi":      (*Session).SolvePCSI,
+}
+
+func TestSolversMatchDenseReference(t *testing.T) {
+	spec := grid.TestSpec()
+	spec.Nx, spec.Ny = 40, 32
+	f := newFixture(t, grid.Generate(spec), 10, 8, 20000)
+	want := f.denseReference(t)
+	x0 := make([]float64, f.g.N())
+	for name, solve := range allSolvers {
+		for _, pc := range []PrecondType{PrecondIdentity, PrecondDiagonal, PrecondEVP, PrecondBlockLU} {
+			if name == "pcsi" && pc == PrecondIdentity {
+				// Plain CSI on the raw operator is impractical: the
+				// unpreconditioned spectrum's lower edge is clustered and
+				// Lanczos cannot bracket it in few steps (this is why Hu
+				// 2013 and the paper always pair CSI with at least
+				// diagonal scaling). Covered by its own test below.
+				continue
+			}
+			s := f.session(t, Options{Precond: pc, Tol: 1e-12})
+			res, x, err := solve(s, f.b, x0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, pc, err)
+			}
+			if !res.Converged {
+				t.Fatalf("%s/%s: did not converge in %d iterations (rel res %g)",
+					name, pc, res.Iterations, res.RelResidual)
+			}
+			if e := maxOceanErr(f.g, x, want); e > 1e-9 {
+				t.Fatalf("%s/%s: solution error %g", name, pc, e)
+			}
+			// Land rows must be exact identity: x = b.
+			for k, m := range f.g.Mask {
+				if !m && x[k] != f.b[k] {
+					t.Fatalf("%s/%s: land row %d not identity", name, pc, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPreconditioningReducesIterations(t *testing.T) {
+	// The paper's Fig. 6 shape: EVP cuts iterations vs diagonal for both
+	// solvers; diagonal cuts vs identity.
+	f := testFixture(t)
+	x0 := make([]float64, f.g.N())
+	iters := func(name string, pc PrecondType) int {
+		s := f.session(t, Options{Precond: pc})
+		res, _, err := allSolvers[name](s, f.b, x0)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", name, pc, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%s/%v did not converge", name, pc)
+		}
+		return res.Iterations
+	}
+	for _, name := range []string{"chrongear", "pcsi"} {
+		diag := iters(name, PrecondDiagonal)
+		evp := iters(name, PrecondEVP)
+		if evp >= diag {
+			t.Fatalf("%s iterations not improving: diag=%d evp=%d", name, diag, evp)
+		}
+		if name == "chrongear" {
+			none := iters(name, PrecondIdentity)
+			if diag > none {
+				t.Fatalf("%s: diagonal (%d iters) should not lose to identity (%d)", name, diag, none)
+			}
+		}
+	}
+}
+
+func TestUnpreconditionedCSIIsImpractical(t *testing.T) {
+	// Documents the behaviour the paper designs around: without at least
+	// diagonal scaling, the spectrum's lower edge defeats few-step Lanczos
+	// estimation and CSI contracts impractically slowly — even with the
+	// slow-convergence interval widening it makes little progress in a
+	// budget that is ample for every preconditioned configuration.
+	f := testFixture(t)
+	s := f.session(t, Options{Precond: PrecondIdentity, MaxIters: 300})
+	res, _, err := s.SolvePCSI(f.b, make([]float64, f.g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Skip("unpreconditioned CSI converged quickly; grid too easy to demonstrate")
+	}
+	if res.RelResidual < 1e-12 {
+		t.Fatalf("expected slow convergence, residual %g", res.RelResidual)
+	}
+}
+
+func TestPCSINeedsMoreIterationsThanChronGear(t *testing.T) {
+	// §3: K_pcsi > K_cg for the same tolerance.
+	f := testFixture(t)
+	x0 := make([]float64, f.g.N())
+	sCG := f.session(t, Options{Precond: PrecondDiagonal})
+	rCG, _, err := sCG.SolveChronGear(f.b, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sCSI := f.session(t, Options{Precond: PrecondDiagonal})
+	rCSI, _, err := sCSI.SolvePCSI(f.b, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rCSI.Iterations <= rCG.Iterations {
+		t.Fatalf("expected K_pcsi > K_cg, got %d vs %d", rCSI.Iterations, rCG.Iterations)
+	}
+}
+
+func TestChronGearEquivalentToPCG(t *testing.T) {
+	// ChronGear is algebraically a CG rearrangement: iteration counts at the
+	// same tolerance should be essentially identical (within one check
+	// interval) and solutions should agree tightly.
+	f := testFixture(t)
+	x0 := make([]float64, f.g.N())
+	sA := f.session(t, Options{Precond: PrecondDiagonal})
+	rA, xA, err := sA.SolveChronGear(f.b, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB := f.session(t, Options{Precond: PrecondDiagonal})
+	rB, xB, err := sB.SolvePCG(f.b, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rA.Iterations - rB.Iterations; d < -10 || d > 10 {
+		t.Fatalf("ChronGear %d vs PCG %d iterations", rA.Iterations, rB.Iterations)
+	}
+	if e := maxOceanErr(f.g, xA, xB); e > 1e-8 {
+		t.Fatalf("ChronGear/PCG solutions differ by %g", e)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	f := testFixture(t)
+	x0 := make([]float64, f.g.N())
+	run := func() []float64 {
+		s := f.session(t, Options{Precond: PrecondEVP})
+		_, x, err := s.SolvePCSI(f.b, x0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	xa, xb := run(), run()
+	for k := range xa {
+		if xa[k] != xb[k] {
+			t.Fatalf("solve not bitwise deterministic at %d", k)
+		}
+	}
+}
+
+func TestRankCountInvariance(t *testing.T) {
+	// The same problem on different rank counts (including serial) must give
+	// the same answer to solver tolerance.
+	g := grid.Generate(grid.TestSpec())
+	var ref []float64
+	for _, blocking := range [][2]int{{64, 48}, {16, 12}, {8, 8}} {
+		f := newFixture(t, g, blocking[0], blocking[1], 20000)
+		s := f.session(t, Options{Precond: PrecondDiagonal})
+		res, x, err := s.SolveChronGear(f.b, make([]float64, g.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("blocking %v did not converge", blocking)
+		}
+		if ref == nil {
+			ref = x
+			continue
+		}
+		if e := maxOceanErr(g, x, ref); e > 1e-8 {
+			t.Fatalf("blocking %v: deviation %g from serial reference", blocking, e)
+		}
+	}
+}
+
+func TestZeroRHS(t *testing.T) {
+	f := testFixture(t)
+	zero := make([]float64, f.g.N())
+	for name, solve := range allSolvers {
+		s := f.session(t, Options{Precond: PrecondDiagonal})
+		if name == "pcsi" {
+			// P-CSI needs eigenvalue bounds, which cannot come from a zero
+			// RHS — estimate from a nonzero vector first.
+			if _, _, _, err := s.EstimateEigenvalues(f.b, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, x, err := solve(s, zero, zero)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged || res.Iterations != 0 {
+			t.Fatalf("%s: zero RHS should converge instantly, got %+v", name, res)
+		}
+		for k, v := range x {
+			if v != 0 {
+				t.Fatalf("%s: nonzero solution at %d", name, k)
+			}
+		}
+	}
+}
+
+func TestLanczosBracketsSpectrum(t *testing.T) {
+	// On a small grid, compare the Lanczos interval against the true
+	// spectrum of M⁻¹A (dense, diagonal M) — [ν, μ] must bracket it after
+	// the safety factors.
+	spec := grid.TestSpec()
+	spec.Nx, spec.Ny = 24, 20
+	f := newFixture(t, grid.Generate(spec), 12, 10, 20000)
+	s := f.session(t, Options{Precond: PrecondDiagonal})
+	nu, mu, steps, err := s.EstimateEigenvalues(f.b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < 2 {
+		t.Fatalf("suspiciously few Lanczos steps: %d", steps)
+	}
+	// True extreme eigenvalues of D⁻¹A via power iteration on the dense
+	// matrix (shifted for the smallest).
+	dm := f.op.Dense()
+	n := dm.Rows
+	diag := f.op.Diagonal()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dm.Set(i, j, dm.At(i, j)/diag[i])
+		}
+	}
+	lamMax := powerIter(dm, nil, 600)
+	lamMin := 0.0
+	{
+		shift := lamMax * 1.0001
+		sh := linalg.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := -dm.At(i, j)
+				if i == j {
+					v += shift
+				}
+				sh.Set(i, j, v)
+			}
+		}
+		lamMin = shift - powerIter(sh, nil, 600)
+	}
+	// μ must bracket λ_max (divergence otherwise). ν is deliberately snug:
+	// Lanczos approaches λ_min from above and the default safety factor
+	// keeps it near the estimate, so ν may land somewhat above the true
+	// λ_min — P-CSI's slow-convergence guard widens adaptively. Require ν
+	// in a sane band around λ_min rather than a strict bracket.
+	if mu < lamMax {
+		t.Fatalf("Lanczos μ=%g below λ_max=%g", mu, lamMax)
+	}
+	if nu < lamMin/20 || nu > 2*lamMin {
+		t.Fatalf("Lanczos ν=%g far from λ_min=%g", nu, lamMin)
+	}
+	if mu > lamMax*3 {
+		t.Fatalf("Lanczos μ=%g too loose for λ_max=%g", mu, lamMax)
+	}
+}
+
+func powerIter(m *linalg.Dense, v0 []float64, iters int) float64 {
+	n := m.Rows
+	v := v0
+	if v == nil {
+		v = make([]float64, n)
+		rng := rand.New(rand.NewSource(5))
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+	}
+	w := make([]float64, n)
+	var lam float64
+	for it := 0; it < iters; it++ {
+		m.MulVec(w, v)
+		lam = linalg.Norm2(w)
+		for i := range v {
+			v[i] = w[i] / lam
+		}
+	}
+	return lam
+}
+
+func TestForcedLanczosSteps(t *testing.T) {
+	f := testFixture(t)
+	s := f.session(t, Options{Precond: PrecondDiagonal})
+	_, _, steps, err := s.EstimateEigenvalues(f.b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 7 {
+		t.Fatalf("forced 7 Lanczos steps, ran %d", steps)
+	}
+}
+
+func TestReductionCounts(t *testing.T) {
+	// The communication signature is the paper's core claim: ChronGear
+	// performs one reduction per iteration (plus ‖b‖ and rides the check on
+	// the same reduction), PCG two, P-CSI only one per CheckEvery.
+	f := testFixture(t)
+	x0 := make([]float64, f.g.N())
+	perRank := func(res Result) int64 {
+		return res.Stats.Sum.Reductions / int64(len(res.Stats.PerRank))
+	}
+
+	sCG := f.session(t, Options{Precond: PrecondDiagonal})
+	rCG, _, _ := sCG.SolveChronGear(f.b, x0)
+	if got, want := perRank(rCG), int64(rCG.Iterations+1); got != want {
+		t.Fatalf("ChronGear reductions %d, want %d", got, want)
+	}
+
+	sPCG := f.session(t, Options{Precond: PrecondDiagonal})
+	rPCG, _, _ := sPCG.SolvePCG(f.b, x0)
+	if got, want := perRank(rPCG), int64(2*rPCG.Iterations+1); got != want {
+		t.Fatalf("PCG reductions %d, want %d", got, want)
+	}
+
+	sCSI := f.session(t, Options{Precond: PrecondDiagonal})
+	rCSI, _, _ := sCSI.SolvePCSI(f.b, x0)
+	checks := rCSI.Iterations / sCSI.Opts.CheckEvery
+	if got, want := perRank(rCSI), int64(checks+1); got != want {
+		t.Fatalf("P-CSI reductions %d, want %d (K=%d)", got, want, rCSI.Iterations)
+	}
+}
+
+func TestSetupStatsRecorded(t *testing.T) {
+	f := testFixture(t)
+	s := f.session(t, Options{Precond: PrecondEVP})
+	if err := s.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if s.SetupStats == nil || s.SetupStats.Sum.Flops == 0 {
+		t.Fatal("EVP setup should charge preprocessing flops")
+	}
+	before := s.SetupStats.Sum.Flops
+	if err := s.Setup(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if s.SetupStats.Sum.Flops != before {
+		t.Fatal("Setup not idempotent")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	f := testFixture(t)
+	if _, err := NewSession(nil, f.op, f.d, f.w, Options{}); err == nil {
+		t.Fatal("accepted nil grid")
+	}
+	if _, err := NewSession(f.g, f.op, f.d, f.w, Options{Tol: 2}); err == nil {
+		t.Fatal("accepted tolerance ≥ 1")
+	}
+}
+
+func TestPartitionInterior(t *testing.T) {
+	for _, c := range []struct{ nxi, nyi, size, want int }{
+		{24, 16, 8, 6}, {25, 16, 8, 8}, {8, 8, 8, 1}, {1, 1, 8, 1}, {17, 9, 8, 6},
+	} {
+		subs := partitionInterior(c.nxi, c.nyi, c.size)
+		if len(subs) != c.want {
+			t.Fatalf("partition(%d,%d,%d): %d tiles, want %d", c.nxi, c.nyi, c.size, len(subs), c.want)
+		}
+		area := 0
+		for _, sb := range subs {
+			if sb.nx > c.size || sb.ny > c.size || sb.nx < 1 || sb.ny < 1 {
+				t.Fatalf("tile out of bounds: %+v", sb)
+			}
+			area += sb.nx * sb.ny
+		}
+		if area != c.nxi*c.nyi {
+			t.Fatalf("partition(%d,%d,%d) covers %d points, want %d", c.nxi, c.nyi, c.size, area, c.nxi*c.nyi)
+		}
+	}
+}
+
+func TestPrecondTypeString(t *testing.T) {
+	names := map[PrecondType]string{
+		PrecondIdentity: "none", PrecondDiagonal: "diagonal",
+		PrecondEVP: "evp", PrecondBlockLU: "blocklu", PrecondType(99): "PrecondType(99)",
+	}
+	for pt, want := range names {
+		if pt.String() != want {
+			t.Fatalf("%d.String()=%q want %q", int(pt), pt.String(), want)
+		}
+	}
+}
+
+func TestPipeCGMatchesReference(t *testing.T) {
+	spec := grid.TestSpec()
+	spec.Nx, spec.Ny = 40, 32
+	f := newFixture(t, grid.Generate(spec), 10, 8, 20000)
+	want := f.denseReference(t)
+	x0 := make([]float64, f.g.N())
+	// The pipelined recurrences drift and are more sensitive to the mildly
+	// non-symmetric EVP application, so the EVP case gets the moderate
+	// tolerance (see TestPipeCGIterationsCloseToPCGModerateTol).
+	for _, c := range []struct {
+		pc  PrecondType
+		tol float64
+		err float64
+	}{{PrecondDiagonal, 1e-12, 1e-8}, {PrecondEVP, 1e-9, 1e-5}} {
+		s := f.session(t, Options{Precond: c.pc, Tol: c.tol})
+		res, x, err := s.SolvePipeCG(f.b, x0)
+		if err != nil {
+			t.Fatalf("%v: %v", c.pc, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v: pipelined CG did not converge (%d iters)", c.pc, res.Iterations)
+		}
+		if e := maxOceanErr(f.g, x, want); e > c.err {
+			t.Fatalf("%v: solution error %g", c.pc, e)
+		}
+	}
+}
+
+func TestPipeCGSingleReductionPerIteration(t *testing.T) {
+	f := testFixture(t)
+	s := f.session(t, Options{Precond: PrecondDiagonal})
+	res, _, err := s.SolvePipeCG(f.b, make([]float64, f.g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRank := res.Stats.Sum.Reductions / int64(len(res.Stats.PerRank))
+	if want := int64(res.Iterations + 1); perRank != want {
+		t.Fatalf("pipelined CG reductions %d, want %d", perRank, want)
+	}
+}
+
+func TestPipeCGIterationsCloseToPCGModerateTol(t *testing.T) {
+	// In the drift-free regime (moderate tolerance) pipelining is a pure
+	// rearrangement of PCG: iteration counts within ~30%. At POP's 1e-13
+	// the longer recurrences' round-off drift is known to cost extra
+	// iterations (Ghysels & Vanroose discuss residual replacement for
+	// exactly this) — one of the reasons the paper abandons CG-type
+	// latency hiding for P-CSI's latency elimination.
+	f := testFixture(t)
+	sA := f.session(t, Options{Precond: PrecondDiagonal, Tol: 1e-9})
+	rA, _, err := sA.SolvePCG(f.b, make([]float64, f.g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB := f.session(t, Options{Precond: PrecondDiagonal, Tol: 1e-9})
+	rB, _, err := sB.SolvePipeCG(f.b, make([]float64, f.g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rA.Converged || !rB.Converged {
+		t.Fatalf("convergence: pcg=%v pipecg=%v", rA.Converged, rB.Converged)
+	}
+	lo, hi := rA.Iterations*7/10, rA.Iterations*13/10+20
+	if rB.Iterations < lo || rB.Iterations > hi {
+		t.Fatalf("PCG %d vs pipelined %d iterations (want within ~30%%)", rA.Iterations, rB.Iterations)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/comm"
+)
+
+// SolvePCG runs the classic preconditioned conjugate gradient method — the
+// textbook formulation POP used before ChronGear, kept as the baseline that
+// shows why merging its *two* global reductions per iteration into one
+// (ChronGear) and then into none (P-CSI) matters at scale.
+func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
+	if err := s.Setup(); err != nil {
+		return Result{}, nil, err
+	}
+	o := s.Opts
+	out := make([]float64, len(b))
+	res := Result{Solver: "pcg", Precond: o.Precond}
+
+	st := s.W.Run(func(r *comm.Rank) {
+		rs := s.state(r)
+		nb := len(r.Blocks)
+		xs := s.scatterMasked(r, "pcg.x", x0)
+		bs := s.scatterMasked(r, "pcg.b", b)
+		rr := s.field(r, "pcg.r")
+		rp := s.field(r, "pcg.rp")
+		zz := s.field(r, "pcg.z")
+		pp := s.zeroField(r, "pcg.p")
+
+		var bn2 float64
+		for i := 0; i < nb; i++ {
+			residual(rs.locs[i], rr[i], bs[i], xs[i])
+			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
+			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
+			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
+		}
+		bnorm := math.Sqrt(r.AllReduce([]float64{bn2})[0])
+		if r.ID == 0 {
+			res.BNorm = bnorm
+		}
+		if bnorm == 0 {
+			for i, blk := range r.Blocks {
+				for k := range xs[i] {
+					xs[i][k] = 0
+				}
+				s.D.GatherInto(out, xs[i], blk)
+			}
+			if r.ID == 0 {
+				res.Converged = true
+			}
+			return
+		}
+		target := o.Tol * bnorm
+
+		rhoPrev := 0.0
+		converged := false
+		k := 0
+		for k < o.MaxIters {
+			k++
+			check := k%o.CheckEvery == 0
+			var rhoL float64
+			for i := 0; i < nb; i++ {
+				loc := rs.locs[i]
+				rs.pre[i].Apply(rp[i], rr[i])
+				r.AddFlops(rs.pre[i].ApplyFlops())
+				rhoL += loc.MaskedDotInterior(rr[i], rp[i])
+				r.AddFlops(2 * int64(loc.InteriorLen()))
+			}
+			rho := r.AllReduce([]float64{rhoL})[0] // reduction 1 of 2
+			if k == 1 {
+				for i := 0; i < nb; i++ {
+					copy(pp[i], rp[i])
+				}
+			} else {
+				beta := rho / rhoPrev
+				for i := 0; i < nb; i++ {
+					xpay(rs.locs[i], pp[i], rp[i], beta)
+					r.AddFlops(int64(rs.locs[i].InteriorLen()))
+				}
+			}
+			rhoPrev = rho
+			r.Exchange(pp)
+			var deltaL, rnL float64
+			for i := 0; i < nb; i++ {
+				loc := rs.locs[i]
+				loc.Apply(zz[i], pp[i])
+				r.AddFlops(9 * int64(loc.InteriorLen()))
+				deltaL += loc.MaskedDotInterior(pp[i], zz[i])
+				r.AddFlops(2 * int64(loc.InteriorLen()))
+				if check {
+					rnL += loc.MaskedDotInterior(rr[i], rr[i])
+					r.AddFlops(2 * int64(loc.InteriorLen()))
+				}
+			}
+			payload := []float64{deltaL}
+			if check {
+				payload = append(payload, rnL)
+			}
+			g := r.AllReduce(payload) // reduction 2 of 2
+			alpha := rho / g[0]
+			if check {
+				rn := math.Sqrt(g[1])
+				if r.ID == 0 {
+					res.RelResidual = rn / bnorm
+				}
+				if rn <= target {
+					converged = true
+					break
+				}
+			}
+			for i := 0; i < nb; i++ {
+				loc := rs.locs[i]
+				axpy(loc, xs[i], pp[i], alpha)
+				axpy(loc, rr[i], zz[i], -alpha)
+				r.AddFlops(2 * int64(loc.InteriorLen()))
+			}
+		}
+		if r.ID == 0 {
+			res.Iterations = k
+			res.Converged = converged
+		}
+		for i, blk := range r.Blocks {
+			s.D.GatherInto(out, xs[i], blk)
+		}
+	})
+	res.Stats = st
+	s.restoreLand(out, b)
+	return res, out, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/comm"
+)
+
+// SolvePipeCG runs the pipelined preconditioned conjugate gradient of
+// Ghysels & Vanroose (the §7 related-work alternative the paper contrasts
+// with its own approach): one global reduction per iteration like
+// ChronGear, but restructured so the preconditioner application and the
+// matrix-vector product overlap with the reduction in flight. The virtual
+// runtime prices that overlap through AllReduceOverlap, so this solver
+// shows how far latency *hiding* goes compared with P-CSI's latency
+// *elimination*.
+//
+// The price of pipelining is four extra vector recurrences per iteration
+// (z, q, s, p alongside x, r, u, w) and the well-known residual drift of
+// the longer recurrences; the convergence check still uses the recurrence
+// residual, as in the reference algorithm.
+func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
+	if err := s.Setup(); err != nil {
+		return Result{}, nil, err
+	}
+	o := s.Opts
+	out := make([]float64, len(b))
+	res := Result{Solver: "pipecg", Precond: o.Precond}
+
+	st := s.W.Run(func(r *comm.Rank) {
+		rs := s.state(r)
+		nb := len(r.Blocks)
+		xs := s.scatterMasked(r, "pcg2.x", x0)
+		bs := s.scatterMasked(r, "pcg2.b", b)
+		rr := s.field(r, "pcg2.r")
+		uu := s.field(r, "pcg2.u")
+		ww := s.field(r, "pcg2.w")
+		mm := s.field(r, "pcg2.m")
+		nn := s.field(r, "pcg2.n")
+		zz := s.zeroField(r, "pcg2.z")
+		qq := s.zeroField(r, "pcg2.q")
+		ss := s.zeroField(r, "pcg2.s")
+		pp := s.zeroField(r, "pcg2.p")
+
+		var bn2 float64
+		for i := 0; i < nb; i++ {
+			residual(rs.locs[i], rr[i], bs[i], xs[i])
+			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
+			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
+			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
+		}
+		bnorm := math.Sqrt(r.AllReduce([]float64{bn2})[0])
+		if r.ID == 0 {
+			res.BNorm = bnorm
+		}
+		if bnorm == 0 {
+			for i, blk := range r.Blocks {
+				for k := range xs[i] {
+					xs[i][k] = 0
+				}
+				s.D.GatherInto(out, xs[i], blk)
+			}
+			if r.ID == 0 {
+				res.Converged = true
+			}
+			return
+		}
+		target := o.Tol * bnorm
+
+		// u₀ = M⁻¹r₀, w₀ = A·u₀.
+		for i := 0; i < nb; i++ {
+			rs.pre[i].Apply(uu[i], rr[i])
+			r.AddFlops(rs.pre[i].ApplyFlops())
+		}
+		r.Exchange(uu)
+		for i := 0; i < nb; i++ {
+			rs.locs[i].Apply(ww[i], uu[i])
+			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
+		}
+
+		gammaPrev, alphaPrev := 0.0, 0.0
+		converged := false
+		k := 0
+		for k < o.MaxIters {
+			k++
+			check := k%o.CheckEvery == 0
+			var gL, dL, rnL float64
+			var overlapFlops int64
+			for i := 0; i < nb; i++ {
+				loc := rs.locs[i]
+				n := int64(loc.InteriorLen())
+				gL += loc.MaskedDotInterior(rr[i], uu[i])
+				dL += loc.MaskedDotInterior(ww[i], uu[i])
+				r.AddFlops(4 * n)
+				if check {
+					rnL += loc.MaskedDotInterior(rr[i], rr[i])
+					r.AddFlops(2 * n)
+				}
+				overlapFlops += rs.pre[i].ApplyFlops() + 9*n
+			}
+			payload := []float64{gL, dL}
+			if check {
+				payload = append(payload, rnL)
+			}
+			// The reduction flies while m = M⁻¹w and n = A·m compute.
+			g := r.AllReduceOverlap(payload, overlapFlops)
+			for i := 0; i < nb; i++ {
+				rs.pre[i].Apply(mm[i], ww[i])
+			}
+			r.Exchange(mm)
+			for i := 0; i < nb; i++ {
+				rs.locs[i].Apply(nn[i], mm[i])
+			}
+
+			gamma, delta := g[0], g[1]
+			if check {
+				rn := math.Sqrt(g[2])
+				if r.ID == 0 {
+					res.RelResidual = rn / bnorm
+				}
+				if rn <= target {
+					converged = true
+					break
+				}
+			}
+			var beta, alpha float64
+			if k == 1 {
+				beta, alpha = 0, gamma/delta
+			} else {
+				beta = gamma / gammaPrev
+				alpha = gamma / (delta - beta*gamma/alphaPrev)
+			}
+			gammaPrev, alphaPrev = gamma, alpha
+			for i := 0; i < nb; i++ {
+				loc := rs.locs[i]
+				xpay(loc, zz[i], nn[i], beta) // z = n + βz
+				xpay(loc, qq[i], mm[i], beta) // q = m + βq
+				xpay(loc, ss[i], ww[i], beta) // s = w + βs
+				xpay(loc, pp[i], uu[i], beta) // p = u + βp
+				axpy(loc, xs[i], pp[i], alpha)
+				axpy(loc, rr[i], ss[i], -alpha)
+				axpy(loc, uu[i], qq[i], -alpha)
+				axpy(loc, ww[i], zz[i], -alpha)
+				r.AddFlops(8 * int64(loc.InteriorLen()))
+			}
+		}
+		if r.ID == 0 {
+			res.Iterations = k
+			res.Converged = converged
+		}
+		for i, blk := range r.Blocks {
+			s.D.GatherInto(out, xs[i], blk)
+		}
+	})
+	res.Stats = st
+	s.restoreLand(out, b)
+	return res, out, nil
+}

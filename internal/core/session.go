@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/stencil"
+)
+
+// Options configures a solver Session. The zero value is completed by
+// DefaultOptions-style fallbacks in NewSession.
+type Options struct {
+	Precond PrecondType
+
+	// EVPBlockSize is the block-Jacobi sub-block side (both EVP and
+	// block-LU). The paper quotes 12×12 as the stable EVP limit on its
+	// near-isotropic grids; the synthetic grids here are more anisotropic,
+	// so the default is 8.
+	EVPBlockSize int
+	// EVPSimplified drops the N/S/E/W couplings from the EVP blocks,
+	// halving preconditioning cost (§4.3 — the paper's production choice).
+	EVPSimplified bool
+	// FillDepth is the artificial depth given to land cells inside EVP
+	// blocks so marching has wet corners everywhere (see
+	// stencil.AssembleWindowFilled). Must be ≤ the grid's minimum wet
+	// depth; default 50 m.
+	FillDepth float64
+
+	// Tol is the relative convergence tolerance: ‖r‖ ≤ Tol·‖b‖ over ocean
+	// points. POP's default corresponds to 1e−13.
+	Tol float64
+	// MaxIters caps solver iterations (default 2000).
+	MaxIters int
+	// CheckEvery is the convergence-check interval in iterations; the
+	// paper uses 10 for all solvers (§5.2).
+	CheckEvery int
+
+	// Lanczos (eigenvalue estimation) controls for P-CSI.
+	EigTol      float64 // relative change tolerance; paper: 0.15
+	EigMaxSteps int     // cap on Lanczos steps (default 40)
+	// Safety factors widening the estimated spectrum [ν, μ]: Lanczos
+	// approaches λ_min from above and λ_max from below, and Chebyshev
+	// iteration wants the true spectrum inside the interval. The defaults
+	// are deliberately snug (a loose ν inflates the iteration count by
+	// √(ν_true/ν)); P-CSI's slow-convergence and divergence guards widen
+	// the interval adaptively when a mode leaks outside.
+	EigSafetyLow, EigSafetyHigh float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.EVPBlockSize == 0 {
+		o.EVPBlockSize = 8
+	}
+	if o.FillDepth == 0 {
+		o.FillDepth = 50
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-13
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 2000
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 10
+	}
+	if o.EigTol == 0 {
+		o.EigTol = 0.15
+	}
+	if o.EigMaxSteps == 0 {
+		o.EigMaxSteps = 40
+	}
+	if o.EigSafetyLow == 0 {
+		o.EigSafetyLow = 0.85
+	}
+	if o.EigSafetyHigh == 0 {
+		o.EigSafetyHigh = 1.1
+	}
+	return o
+}
+
+// Session binds an operator, a decomposition, and a communicator into a
+// reusable distributed solver: local operators, preconditioners, and field
+// buffers persist across solves (as they do across time steps in POP).
+type Session struct {
+	G    *grid.Grid
+	Op   *stencil.Operator
+	D    *decomp.Decomposition
+	W    *comm.World
+	Opts Options
+
+	perRank []*rankState
+	ready   bool
+
+	// SetupStats records the preconditioner preprocessing run.
+	SetupStats *comm.Stats
+
+	// Eigenvalue bounds for P-CSI, populated by EstimateEigenvalues.
+	Nu, Mu     float64
+	EigSteps   int
+	EigenStats *comm.Stats
+}
+
+// rankState is the per-rank persistent state; each rank goroutine builds
+// and mutates only its own entry.
+type rankState struct {
+	locs   []*stencil.Local
+	pre    []Preconditioner
+	fields map[string][][]float64
+}
+
+// NewSession validates the configuration and prepares a session. The
+// decomposition must already be assigned to ranks and the world built on it.
+func NewSession(g *grid.Grid, op *stencil.Operator, d *decomp.Decomposition, w *comm.World, opts Options) (*Session, error) {
+	if g == nil || op == nil || d == nil || w == nil {
+		return nil, fmt.Errorf("core: nil session component")
+	}
+	if op.Nx != g.Nx || op.Ny != g.Ny {
+		return nil, fmt.Errorf("core: operator %d×%d does not match grid %d×%d", op.Nx, op.Ny, g.Nx, g.Ny)
+	}
+	if w.D != d {
+		return nil, fmt.Errorf("core: world built on a different decomposition")
+	}
+	o := opts.withDefaults()
+	if o.Tol <= 0 || o.Tol >= 1 {
+		return nil, fmt.Errorf("core: tolerance %g out of (0,1)", o.Tol)
+	}
+	return &Session{G: g, Op: op, D: d, W: w, Opts: o,
+		perRank: make([]*rankState, d.NRanks)}, nil
+}
+
+// Setup builds per-rank local operators and preconditioners, charging the
+// preprocessing flops to the virtual clock. It is idempotent; solvers call
+// it lazily, but experiments call it explicitly to time it (the paper
+// reports EVP setup cost < one solver call at 512 cores, §4.3).
+func (s *Session) Setup() error {
+	if s.ready {
+		return nil
+	}
+	var mu sync.Mutex
+	var firstErr error
+	st := s.W.Run(func(r *comm.Rank) {
+		rs := &rankState{fields: make(map[string][][]float64)}
+		for _, b := range r.Blocks {
+			loc := s.D.LocalOperator(s.Op, b)
+			rs.locs = append(rs.locs, loc)
+			var pre Preconditioner
+			var err error
+			switch s.Opts.Precond {
+			case PrecondIdentity:
+				pre = &identityPrecond{loc: loc}
+			case PrecondDiagonal:
+				pre = newDiagPrecond(loc)
+			case PrecondEVP:
+				pre, err = newEVPPrecond(s.G, s.Op.Phi, b, loc,
+					s.Opts.EVPBlockSize, s.Opts.EVPSimplified, s.Opts.FillDepth)
+			case PrecondBlockLU:
+				pre, err = newBLUPrecond(b, loc, s.Opts.EVPBlockSize)
+			default:
+				err = fmt.Errorf("core: unknown preconditioner %v", s.Opts.Precond)
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				pre = &identityPrecond{loc: loc}
+			}
+			r.AddFlops(pre.SetupFlops())
+			rs.pre = append(rs.pre, pre)
+		}
+		s.perRank[r.ID] = rs
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	s.SetupStats = &st
+	s.ready = true
+	return nil
+}
+
+// state returns the rank's persistent state (Setup must have run).
+func (s *Session) state(r *comm.Rank) *rankState {
+	return s.perRank[r.ID]
+}
+
+// field returns (allocating on first use) the named per-block padded field
+// set for this rank.
+func (s *Session) field(r *comm.Rank, name string) [][]float64 {
+	rs := s.state(r)
+	f, ok := rs.fields[name]
+	if !ok {
+		f = make([][]float64, len(r.Blocks))
+		for i, b := range r.Blocks {
+			nxp, nyp := s.D.PaddedDims(b)
+			f[i] = make([]float64, nxp*nyp)
+		}
+		rs.fields[name] = f
+	}
+	return f
+}
+
+// scatterMasked copies a global field into the named per-block field,
+// zeroing land points (solvers run on the ocean-invariant subspace; land
+// rows are restored at gather time).
+func (s *Session) scatterMasked(r *comm.Rank, name string, global []float64) [][]float64 {
+	f := s.field(r, name)
+	for i, b := range r.Blocks {
+		full := s.D.Scatter(global, b)
+		loc := s.state(r).locs[i]
+		for k := range full {
+			if !loc.Mask[k] {
+				full[k] = 0
+			}
+		}
+		copy(f[i], full)
+	}
+	return f
+}
+
+// zeroField clears the named field.
+func (s *Session) zeroField(r *comm.Rank, name string) [][]float64 {
+	f := s.field(r, name)
+	for _, arr := range f {
+		for k := range arr {
+			arr[k] = 0
+		}
+	}
+	return f
+}
+
+// restoreLand sets the identity land rows x = b everywhere, including
+// blocks eliminated from the decomposition (solvers iterate only on the
+// ocean subspace).
+func (s *Session) restoreLand(x, b []float64) {
+	for k, m := range s.Op.Mask {
+		if !m {
+			x[k] = b[k]
+		}
+	}
+}
+
+// Result summarizes one distributed solve.
+type Result struct {
+	Solver      string
+	Precond     PrecondType
+	Iterations  int
+	Converged   bool
+	RelResidual float64 // ‖r‖/‖b‖ at the last convergence check
+	BNorm       float64
+	Stats       comm.Stats
+	// P-CSI extras.
+	Nu, Mu   float64
+	EigSteps int
+}

@@ -1,0 +1,66 @@
+package core
+
+import "repro/internal/stencil"
+
+// Block-level vector kernels. All operate on the interior of padded arrays
+// and are charged with the paper's flop accounting (§2.2): one unit per
+// point per vector operation, two per masked inner product, nine per
+// stencil application — so the Session's virtual times reproduce the
+// coefficients of Equations 2/3/5/6 by construction.
+
+// residual computes r = b − A·x on the interior (fused; charged as one
+// stencil application). x must have valid ring-1 halos.
+func residual(loc *stencil.Local, r, b, x []float64) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		base := j * nx
+		for i := h; i < nx-h; i++ {
+			k := base + i
+			r[k] = b[k] - (loc.AC[k]*x[k] +
+				loc.AN[k]*x[k+nx] + loc.AN[k-nx]*x[k-nx] +
+				loc.AE[k]*x[k+1] + loc.AE[k-1]*x[k-1] +
+				loc.ANE[k]*x[k+nx+1] + loc.ANE[k-nx]*x[k-nx+1] +
+				loc.ANE[k-1]*x[k+nx-1] + loc.ANE[k-nx-1]*x[k-nx-1])
+		}
+	}
+}
+
+// xpay computes dst = x + a·dst on the interior (ChronGear's s/p updates).
+func xpay(loc *stencil.Local, dst, x []float64, a float64) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		base := j * nx
+		for i := h; i < nx-h; i++ {
+			k := base + i
+			dst[k] = x[k] + a*dst[k]
+		}
+	}
+}
+
+// axpy computes dst += a·x on the interior.
+func axpy(loc *stencil.Local, dst, x []float64, a float64) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		base := j * nx
+		for i := h; i < nx-h; i++ {
+			dst[base+i] += a * x[base+i]
+		}
+	}
+}
+
+// chebUpdate computes dx = ω·rp + c·dx on the interior (P-CSI line 7;
+// charged as two vector operations).
+func chebUpdate(loc *stencil.Local, dx, rp []float64, omega, c float64) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		base := j * nx
+		for i := h; i < nx-h; i++ {
+			k := base + i
+			dx[k] = omega*rp[k] + c*dx[k]
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package decomp
+
+// hilbertOrder returns the IDs of an mx×my block grid visited along a
+// Hilbert curve over the enclosing power-of-two square, skipping cells
+// outside the rectangle. Consecutive entries are (almost always) spatially
+// adjacent, which is what makes contiguous runs good rank territories.
+func hilbertOrder(mx, my int) []int {
+	side := 1
+	for side < mx || side < my {
+		side <<= 1
+	}
+	order := make([]int, 0, mx*my)
+	n := side * side
+	for t := 0; t < n; t++ {
+		x, y := hilbertD2XY(side, t)
+		if x < mx && y < my {
+			order = append(order, y*mx+x)
+		}
+	}
+	return order
+}
+
+// hilbertD2XY converts a distance along the Hilbert curve of an n×n grid
+// (n a power of two) to coordinates, using the classic bit-twiddling walk.
+func hilbertD2XY(n, d int) (x, y int) {
+	t := d
+	for s := 1; s < n; s <<= 1 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		// Rotate quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}

@@ -1,0 +1,277 @@
+// Package evp implements Roache's Error Vector Propagation method (paper
+// §4.2, Algorithm 3): a direct elliptic solver that marches the nine-point
+// stencil equation north-eastward across a small block and corrects the
+// initial-guess ring with a precomputed influence-matrix inverse.
+//
+// Geometry: the solver owns an (nx+2)×(ny+2) extended domain — the
+// preconditioner block plus a phantom Dirichlet-zero boundary ring, which is
+// exactly the diagonal sub-matrix Bᵢ of Figure 4 (couplings leaving the
+// block hit zero values). The initial-guess set e is the interior L next to
+// the south and west boundaries; the final set f is the north/east boundary
+// ring that over-marching writes. Both have nx+ny−1 points (the paper's
+// 2n−5 for an n×n extended domain).
+//
+// One solve costs two marches plus a k×k matvec — O(22·n²) for the full
+// nine-coefficient stencil and O(14·n²) for the simplified five-coefficient
+// variant of §4.3 (the N/S/E/W couplings of the POP operator are an order of
+// magnitude smaller than the corner couplings and can be dropped from the
+// preconditioner with no significant convergence impact).
+//
+// Marching amplifies round-off exponentially with block size — the method is
+// only usable on small blocks (≤ ~16; the paper quotes O(1e−8) error at
+// 12×12), which is no restriction for a block-Jacobi preconditioner.
+package evp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stencil"
+)
+
+// MaxStableSize is the largest extended-domain side for which marching
+// round-off stays acceptable in double precision; NewBlockSolver refuses
+// larger domains.
+const MaxStableSize = 20
+
+// BlockSolver solves Bᵢ·x = ψ on one preconditioner block by EVP marching.
+type BlockSolver struct {
+	nx, ny     int // extended-domain dimensions (block + phantom ring)
+	simplified bool
+
+	// Stencil coefficients per extended-domain point, split per offset for
+	// the marching inner loop: c[o][k] is the coupling of point k to its
+	// neighbour at offset o in [SW,S,SE,W,C,E,NW,N,NE] order.
+	c [9][]float64
+
+	e, f       []int         // flattened extended-domain indices
+	r          *linalg.Dense // inverse influence matrix, |e|×|e|
+	work       []float64     // marching workspace, one extended domain
+	fbuf, ebuf []float64     // |f| and |e| scratch
+}
+
+// offsets in [SW,S,SE,W,C,E,NW,N,NE] order as (di,dj).
+var offsets = [9][2]int{
+	{-1, -1}, {0, -1}, {1, -1},
+	{-1, 0}, {0, 0}, {1, 0},
+	{-1, 1}, {0, 1}, {1, 1},
+}
+
+const (
+	offC  = 4
+	offNE = 8
+)
+
+// NewBlockSolver builds an EVP solver for the block operator described by
+// loc, a padded window with halo 1 whose interior is the preconditioner
+// block (see stencil.AssembleWindowFilled). When simplified is true the
+// N/S/E/W couplings are dropped (§4.3). It fails when the extended domain
+// is too large for stable marching, a north-east coefficient is zero, or
+// the influence matrix is singular.
+func NewBlockSolver(loc *stencil.Local, simplified bool) (*BlockSolver, error) {
+	if loc.H != 1 {
+		return nil, fmt.Errorf("evp: block window must have halo 1, got %d", loc.H)
+	}
+	nx, ny := loc.NxP, loc.NyP
+	if nx > MaxStableSize+2 || ny > MaxStableSize+2 {
+		return nil, fmt.Errorf("evp: %d×%d extended domain exceeds stable marching size", nx, ny)
+	}
+	if nx < 3 || ny < 3 {
+		return nil, fmt.Errorf("evp: degenerate %d×%d domain", nx, ny)
+	}
+	s := &BlockSolver{nx: nx, ny: ny, simplified: simplified}
+	n := nx * ny
+	for o := range s.c {
+		s.c[o] = make([]float64, n)
+	}
+	for j := 1; j < ny-1; j++ {
+		for i := 1; i < nx-1; i++ {
+			row := loc.Row(i, j)
+			k := j*nx + i
+			for o, v := range row {
+				s.c[o][k] = v
+			}
+			if simplified {
+				s.c[1][k], s.c[3][k], s.c[5][k], s.c[7][k] = 0, 0, 0, 0
+			}
+			if s.c[offNE][k] == 0 {
+				return nil, fmt.Errorf("evp: zero north-east coefficient at (%d,%d); block operator must be land-filled", i, j)
+			}
+		}
+	}
+
+	// Initial-guess ring e: interior points hugging the south and west
+	// boundaries; final ring f: the north/east boundary points that
+	// over-marching writes. |e| = |f| = (nx−2) + (ny−3).
+	for i := 1; i <= nx-2; i++ {
+		s.e = append(s.e, 1*nx+i)
+	}
+	for j := 2; j <= ny-2; j++ {
+		s.e = append(s.e, j*nx+1)
+	}
+	for i := 2; i <= nx-1; i++ {
+		s.f = append(s.f, (ny-1)*nx+i)
+	}
+	for j := 2; j <= ny-2; j++ {
+		s.f = append(s.f, j*nx+(nx-1))
+	}
+	if len(s.e) != len(s.f) {
+		panic("evp: e/f size mismatch")
+	}
+
+	s.work = make([]float64, n)
+	s.fbuf = make([]float64, len(s.f))
+	s.ebuf = make([]float64, len(s.e))
+
+	// Influence matrix: column i is the response at f to a unit guess at
+	// e[i] under the homogeneous equation.
+	k := len(s.e)
+	w := linalg.NewDense(k, k)
+	for col := 0; col < k; col++ {
+		for i := range s.work {
+			s.work[i] = 0
+		}
+		s.work[s.e[col]] = 1
+		s.march(s.work, nil)
+		for rowI, fk := range s.f {
+			w.Set(rowI, col, s.work[fk])
+		}
+	}
+	inv, err := linalg.Inverse(w)
+	if err != nil {
+		return nil, fmt.Errorf("evp: influence matrix singular: %w", err)
+	}
+	s.r = inv
+	return s, nil
+}
+
+// Size returns the interior block dimensions.
+func (s *BlockSolver) Size() (nx, ny int) { return s.nx - 2, s.ny - 2 }
+
+// march propagates x north-eastward: the equation at (i,j) determines
+// x(i+1,j+1). psi is the right-hand side over the extended domain (nil
+// means homogeneous). On entry x must hold the guess on e and zeros on the
+// south/west boundary; every other point, including the north/east boundary
+// ring (the f points), is overwritten.
+func (s *BlockSolver) march(x, psi []float64) {
+	nx := s.nx
+	for j := 1; j <= s.ny-2; j++ {
+		base := j * nx
+		for i := 1; i <= s.nx-2; i++ {
+			k := base + i
+			rhs := 0.0
+			if psi != nil {
+				rhs = psi[k]
+			}
+			var sum float64
+			if s.simplified {
+				sum = s.c[0][k]*x[k-nx-1] + s.c[2][k]*x[k-nx+1] +
+					s.c[offC][k]*x[k] + s.c[6][k]*x[k+nx-1]
+			} else {
+				sum = s.c[0][k]*x[k-nx-1] + s.c[1][k]*x[k-nx] + s.c[2][k]*x[k-nx+1] +
+					s.c[3][k]*x[k-1] + s.c[offC][k]*x[k] + s.c[5][k]*x[k+1] +
+					s.c[6][k]*x[k+nx-1] + s.c[7][k]*x[k+nx]
+			}
+			x[k+nx+1] = (rhs - sum) / s.c[offNE][k]
+		}
+	}
+}
+
+// Solve computes x = Bᵢ⁻¹·ψ on the extended domain: both slices are
+// extended-domain length, ψ is read at interior points only, and x receives
+// the solution at interior points (boundary entries end up ≈0). Following
+// Algorithm 3: march with zero guess, correct the guess ring through the
+// influence inverse, march again.
+func (s *BlockSolver) Solve(x, psi []float64) {
+	if len(x) != s.nx*s.ny || len(psi) != s.nx*s.ny {
+		panic("evp: Solve dimension mismatch")
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	s.march(x, psi)
+	for i, fk := range s.f {
+		s.fbuf[i] = x[fk] // F = x|f − 0 (Dirichlet boundary)
+	}
+	s.r.MulVec(s.ebuf, s.fbuf)
+	for i, ek := range s.e {
+		x[s.e[i]] = x[ek] - s.ebuf[i]
+	}
+	// Zero everything the second march does not overwrite cannot have
+	// changed; re-march overwrites all non-e interior points and the f ring.
+	s.march(x, psi)
+	for _, fk := range s.f {
+		x[fk] = 0 // residual round-off on the phantom boundary
+	}
+}
+
+// SolveFlops returns the per-application flop charge, following the paper's
+// accounting: 2 marches of (9 or 5)·n² plus the k² influence correction —
+// ≈22·n² full, ≈14·n² simplified (§4.3).
+func (s *BlockSolver) SolveFlops() int64 {
+	n2 := int64((s.nx - 2) * (s.ny - 2))
+	k := int64(len(s.e))
+	per := int64(9)
+	if s.simplified {
+		per = 5
+	}
+	return 2*per*n2 + k*k
+}
+
+// SetupFlops returns the preprocessing charge: k homogeneous marches plus
+// the k³ influence-matrix inversion (paper §4.2: C_pre ≈ 26·n³).
+func (s *BlockSolver) SetupFlops() int64 {
+	n2 := int64((s.nx - 2) * (s.ny - 2))
+	k := int64(len(s.e))
+	per := int64(9)
+	if s.simplified {
+		per = 5
+	}
+	return k*per*n2 + k*k*k
+}
+
+// MarchGrowth estimates the marching amplification factor: the largest
+// |value| produced while building the influence matrix from unit inputs.
+// It quantifies the instability that restricts EVP to small blocks.
+func MarchGrowth(loc *stencil.Local, simplified bool) (float64, error) {
+	if loc.H != 1 {
+		return 0, fmt.Errorf("evp: block window must have halo 1")
+	}
+	nx, ny := loc.NxP, loc.NyP
+	if nx < 3 || ny < 3 {
+		return 0, fmt.Errorf("evp: degenerate domain")
+	}
+	// Build a throwaway solver-like marcher without the size guard.
+	s := &BlockSolver{nx: nx, ny: ny, simplified: simplified}
+	n := nx * ny
+	for o := range s.c {
+		s.c[o] = make([]float64, n)
+	}
+	for j := 1; j < ny-1; j++ {
+		for i := 1; i < nx-1; i++ {
+			row := loc.Row(i, j)
+			k := j*nx + i
+			for o, v := range row {
+				s.c[o][k] = v
+			}
+			if simplified {
+				s.c[1][k], s.c[3][k], s.c[5][k], s.c[7][k] = 0, 0, 0, 0
+			}
+			if s.c[offNE][k] == 0 {
+				return 0, fmt.Errorf("evp: zero north-east coefficient at (%d,%d)", i, j)
+			}
+		}
+	}
+	x := make([]float64, n)
+	// One unit guess in the middle of the e-ring is representative.
+	x[1*nx+nx/2] = 1
+	s.march(x, nil)
+	var g float64
+	for _, v := range x {
+		if a := math.Abs(v); a > g {
+			g = a
+		}
+	}
+	return g, nil
+}

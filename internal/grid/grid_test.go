@@ -1,0 +1,167 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlatBasinValid(t *testing.T) {
+	g := NewFlatBasin(16, 12, 4000, 1e5, 1e5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.OceanFraction() != 1 {
+		t.Fatalf("flat basin ocean fraction %v, want 1", g.OceanFraction())
+	}
+	// Interior corners wet, boundary corners dry.
+	if g.HU[g.Idx(5, 5)] != 4000 {
+		t.Fatalf("interior corner depth %v", g.HU[g.Idx(5, 5)])
+	}
+	if g.HU[g.Idx(15, 5)] != 0 || g.HU[g.Idx(5, 11)] != 0 {
+		t.Fatal("boundary corners should be dry")
+	}
+}
+
+func TestGenerateTestGrid(t *testing.T) {
+	g := Generate(TestSpec())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	frac := g.OceanFraction()
+	if math.Abs(frac-0.68) > 0.02 {
+		t.Fatalf("ocean fraction %v, want ≈0.68", frac)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(TestSpec())
+	b := Generate(TestSpec())
+	for k := range a.HT {
+		if a.HT[k] != b.HT[k] || a.Mask[k] != b.Mask[k] {
+			t.Fatalf("generation not deterministic at index %d", k)
+		}
+	}
+}
+
+func TestGeographySharedAcrossResolutions(t *testing.T) {
+	// The same (lon,lat) should be land/ocean at both resolutions for the
+	// vast majority of points (coastlines differ by at most one cell).
+	lo := Generate(TestSpec())
+	spec := TestSpec()
+	spec.Nx *= 2
+	spec.Ny *= 2
+	spec.Name = "test-synthetic-2x"
+	hi := Generate(spec)
+	agree, total := 0, 0
+	for j := 0; j < lo.Ny; j++ {
+		for i := 0; i < lo.Nx; i++ {
+			// T-point (i,j) at low res covers the 2×2 block at high res.
+			loOcean := lo.Mask[lo.Idx(i, j)]
+			wet := 0
+			for dj := 0; dj < 2; dj++ {
+				for di := 0; di < 2; di++ {
+					if hi.Mask[hi.Idx(2*i+di, 2*j+dj)] {
+						wet++
+					}
+				}
+			}
+			total++
+			if (wet >= 2) == loOcean {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.93 {
+		t.Fatalf("resolutions agree on only %.1f%% of cells", 100*frac)
+	}
+}
+
+func TestStraitsAreOpen(t *testing.T) {
+	// The generator carves three straits; check that the Drake-like passage
+	// south of continent 1 is wet: look for ocean along the carved latitude.
+	g := Generate(OneDegreeSpec())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wet := 0
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			k := g.Idx(i, j)
+			if g.Mask[k] && math.Abs(g.TLat[k]+62) < 1.5 {
+				wet++
+			}
+		}
+	}
+	if wet == 0 {
+		t.Fatal("carved Drake-like passage is entirely land")
+	}
+}
+
+func TestMetricsAnisotropy(t *testing.T) {
+	// At the equator the 1° grid should be anisotropic (dx/dy well above 1)
+	// while the 0.1°-family grid should be closer to isotropic — the paper's
+	// §4.3 explanation for why 0.1° converges in fewer iterations.
+	one := Generate(OneDegreeSpec())
+	tenthLike := Generate(QuarterScaleTenthSpec())
+	ratioAt := func(g *Grid) float64 {
+		j := g.Ny / 2
+		k := g.Idx(g.Nx/2, j)
+		return g.DXU[k] / g.DYU[k]
+	}
+	r1, r01 := ratioAt(one), ratioAt(tenthLike)
+	if r1 < 1.5 {
+		t.Fatalf("1° grid anisotropy %v, want > 1.5", r1)
+	}
+	if math.Abs(r01-1) > math.Abs(r1-1) {
+		t.Fatalf("0.1°-like grid (ratio %v) should be closer to isotropic than 1° (ratio %v)", r01, r1)
+	}
+}
+
+func TestIsOceanOutOfRange(t *testing.T) {
+	g := NewFlatBasin(4, 4, 100, 1, 1)
+	for _, p := range [][2]int{{-1, 0}, {0, -1}, {4, 0}, {0, 4}} {
+		if g.IsOcean(p[0], p[1]) {
+			t.Fatalf("out-of-range point %v reported as ocean", p)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := NewFlatBasin(8, 8, 100, 1, 1)
+	g.HT[g.Idx(3, 3)] = -5
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative ocean depth")
+	}
+	g = NewFlatBasin(8, 8, 100, 1, 1)
+	g.HU[g.Idx(7, 7)] = 50 // dry boundary corner given depth
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a wet boundary corner")
+	}
+}
+
+func TestFullPresetDimensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full preset generation in -short")
+	}
+	one := OneDegree()
+	if one.Nx != 320 || one.Ny != 384 {
+		t.Fatalf("1deg preset %dx%d", one.Nx, one.Ny)
+	}
+	if err := one.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f := one.OceanFraction(); math.Abs(f-0.68) > 0.01 {
+		t.Fatalf("1deg ocean fraction %v", f)
+	}
+}
+
+func TestQuarterScalePreservesAspect(t *testing.T) {
+	s := QuarterScaleTenthSpec()
+	if s.Nx*2 != s.Ny*3 {
+		t.Fatalf("quarter-scale 0.1deg aspect %dx%d not 3:2", s.Nx, s.Ny)
+	}
+	full := TenthDegreeSpec()
+	if full.Nx != 3600 || full.Ny != 2400 {
+		t.Fatalf("0.1deg preset %dx%d", full.Nx, full.Ny)
+	}
+}

@@ -1,0 +1,98 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+)
+
+// valueNoise is deterministic, smooth, zonally periodic value noise defined
+// on (lon, lat) in degrees. It is evaluated in continuous geographic space so
+// grids at different resolutions see the same continents and bathymetry.
+type valueNoise struct {
+	nLon, nLat int       // lattice dimensions
+	cellLon    float64   // lattice spacing in longitude (degrees)
+	cellLat    float64   // lattice spacing in latitude
+	latMin     float64   // latitude of lattice row 0
+	vals       []float64 // lattice values in [−1, 1]
+}
+
+// newValueNoise builds a lattice with the given spacing (degrees) covering
+// latitudes [−90, 90] and periodic longitudes [0, 360).
+func newValueNoise(rng *rand.Rand, cellDeg float64) *valueNoise {
+	nLon := int(math.Ceil(360 / cellDeg))
+	nLat := int(math.Ceil(180/cellDeg)) + 1
+	v := &valueNoise{
+		nLon:    nLon,
+		nLat:    nLat,
+		cellLon: 360.0 / float64(nLon),
+		cellLat: 180.0 / float64(nLat-1),
+		latMin:  -90,
+		vals:    make([]float64, nLon*nLat),
+	}
+	for i := range v.vals {
+		v.vals[i] = 2*rng.Float64() - 1
+	}
+	return v
+}
+
+// smooth is the C¹ smoothstep used for lattice interpolation.
+func smooth(t float64) float64 { return t * t * (3 - 2*t) }
+
+// at evaluates the noise at (lon, lat) degrees; lon wraps, lat clamps.
+func (v *valueNoise) at(lon, lat float64) float64 {
+	lon = math.Mod(lon, 360)
+	if lon < 0 {
+		lon += 360
+	}
+	fx := lon / v.cellLon
+	fy := (lat - v.latMin) / v.cellLat
+	if fy < 0 {
+		fy = 0
+	}
+	if fy > float64(v.nLat-1) {
+		fy = float64(v.nLat - 1)
+	}
+	x0 := int(fx) % v.nLon
+	y0 := int(fy)
+	if y0 > v.nLat-2 {
+		y0 = v.nLat - 2
+	}
+	x1 := (x0 + 1) % v.nLon
+	y1 := y0 + 1
+	tx := smooth(fx - math.Floor(fx))
+	ty := smooth(fy - float64(y0))
+	v00 := v.vals[y0*v.nLon+x0]
+	v10 := v.vals[y0*v.nLon+x1]
+	v01 := v.vals[y1*v.nLon+x0]
+	v11 := v.vals[y1*v.nLon+x1]
+	return (v00*(1-tx)+v10*tx)*(1-ty) + (v01*(1-tx)+v11*tx)*ty
+}
+
+// fractalNoise sums octaves of value noise for coastline/bathymetry detail.
+type fractalNoise struct {
+	octaves []*valueNoise
+	weights []float64
+}
+
+func newFractalNoise(seed int64, baseCellDeg float64, nOctaves int) *fractalNoise {
+	rng := rand.New(rand.NewSource(seed))
+	f := &fractalNoise{}
+	cell := baseCellDeg
+	w := 1.0
+	for o := 0; o < nOctaves; o++ {
+		f.octaves = append(f.octaves, newValueNoise(rng, cell))
+		f.weights = append(f.weights, w)
+		cell /= 2
+		w /= 2
+	}
+	return f
+}
+
+// at evaluates the fractal noise; the result is in roughly [−2, 2].
+func (f *fractalNoise) at(lon, lat float64) float64 {
+	var s float64
+	for o, n := range f.octaves {
+		s += f.weights[o] * n.at(lon, lat)
+	}
+	return s
+}

@@ -1,0 +1,215 @@
+// Package linalg provides the small dense and tridiagonal linear algebra
+// kernels used by the EVP preconditioner (influence-matrix inversion) and
+// the Lanczos eigenvalue estimator (tridiagonal extreme eigenvalues).
+//
+// Everything here operates on small matrices (tens to a few hundred rows);
+// the routines favour clarity and numerical robustness over blocking or
+// vectorization tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major n×m matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[i*Cols+j]
+}
+
+// NewDense returns a zeroed rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %d×%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i,j).
+func (a *Dense) At(i, j int) float64 { return a.Data[i*a.Cols+j] }
+
+// Set assigns element (i,j).
+func (a *Dense) Set(i, j int, v float64) { a.Data[i*a.Cols+j] = v }
+
+// Clone returns a deep copy of a.
+func (a *Dense) Clone() *Dense {
+	b := NewDense(a.Rows, a.Cols)
+	copy(b.Data, a.Data)
+	return b
+}
+
+// MulVec computes y = A·x. len(x) must equal Cols and len(y) Rows.
+func (a *Dense) MulVec(y, x []float64) {
+	if len(x) != a.Cols || len(y) != a.Rows {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var s float64
+		for j, rv := range row {
+			s += rv * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Mul computes C = A·B and returns it.
+func (a *Dense) Mul(b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic("linalg: Mul dimension mismatch")
+	}
+	c := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		crow := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// ErrSingular reports that LU factorization encountered an (effectively)
+// singular pivot.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	n    int
+	lu   []float64 // packed L (unit diagonal, below) and U (on/above)
+	piv  []int     // pivot row chosen at each elimination step
+	sign int       // parity of the permutation (+1/−1), kept for Det
+}
+
+// Factor computes the LU factorization of the square matrix a with partial
+// pivoting. a is not modified. It returns ErrSingular when a pivot is smaller
+// than a tiny multiple of the matrix scale.
+func Factor(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Factor needs a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, a.Data)
+
+	// Matrix scale for the singularity test.
+	var scale float64
+	for _, v := range f.lu {
+		if av := math.Abs(v); av > scale {
+			scale = av
+		}
+	}
+	tiny := scale * 1e-300
+	if tiny == 0 {
+		tiny = math.SmallestNonzeroFloat64
+	}
+
+	for k := 0; k < n; k++ {
+		// Pivot search in column k.
+		p := k
+		best := math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if av := math.Abs(f.lu[i*n+k]); av > best {
+				best, p = av, i
+			}
+		}
+		f.piv[k] = p
+		if p != k {
+			rk, rp := f.lu[k*n:(k+1)*n], f.lu[p*n:(p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		if math.Abs(pivot) <= tiny {
+			return nil, ErrSingular
+		}
+		inv := 1 / pivot
+		for i := k + 1; i < n; i++ {
+			m := f.lu[i*n+k] * inv
+			f.lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			urow := f.lu[k*n+k+1 : (k+1)*n]
+			irow := f.lu[i*n+k+1 : (i+1)*n]
+			for j, uv := range urow {
+				irow[j] -= m * uv
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve overwrites x (initially the right-hand side b) with the solution of
+// A·x = b.
+func (f *LU) Solve(x []float64) {
+	n := f.n
+	if len(x) != n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	// Apply permutation.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		row := f.lu[i*n : i*n+i]
+		var s float64
+		for j, lv := range row {
+			s += lv * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu[i*n+i+1 : (i+1)*n]
+		s := x[i]
+		for j, uv := range row {
+			s -= uv * x[i+1+j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for k := 0; k < f.n; k++ {
+		d *= f.lu[k*f.n+k]
+	}
+	return d
+}
+
+// Inverse computes A⁻¹ of the square matrix a via LU with partial pivoting.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewDense(n, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range col {
+			col[i] = 0
+		}
+		col[j] = 1
+		f.Solve(col)
+		for i := 0; i < n; i++ {
+			inv.Data[i*n+j] = col[i]
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,188 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomDiagDominant(rng *rand.Rand, n int) *Dense {
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			rowSum += math.Abs(v)
+		}
+		a.Set(i, i, rowSum+1+rng.Float64())
+	}
+	return a
+}
+
+func TestDenseAtSet(t *testing.T) {
+	a := NewDense(3, 4)
+	a.Set(2, 3, 7.5)
+	a.Set(0, 0, -1)
+	if a.At(2, 3) != 7.5 || a.At(0, 0) != -1 {
+		t.Fatalf("At/Set round trip failed: got %v, %v", a.At(2, 3), a.At(0, 0))
+	}
+	if a.At(1, 1) != 0 {
+		t.Fatalf("fresh matrix not zeroed")
+	}
+}
+
+func TestDenseMulVecKnown(t *testing.T) {
+	a := NewDense(2, 3)
+	// [1 2 3; 4 5 6] · [1 1 1] = [6 15]
+	for j := 0; j < 3; j++ {
+		a.Set(0, j, float64(j+1))
+		a.Set(1, j, float64(j+4))
+	}
+	y := make([]float64, 2)
+	a.MulVec(y, []float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec got %v, want [6 15]", y)
+	}
+}
+
+func TestDenseMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDiagDominant(rng, 5)
+	id := NewDense(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c := a.Mul(id)
+	for i, v := range c.Data {
+		if v != a.Data[i] {
+			t.Fatalf("A·I ≠ A at flat index %d: %v vs %v", i, v, a.Data[i])
+		}
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	// 2x2: [2 1; 1 3] x = [3 5] → x = [4/5, 7/5]
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{3, 5}
+	f.Solve(x)
+	if !almostEqual(x[0], 0.8, 1e-14) || !almostEqual(x[1], 1.4, 1e-14) {
+		t.Fatalf("solve got %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestLUSolveResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 8, 25, 60} {
+		a := randomDiagDominant(rng, n)
+		f, err := Factor(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, xTrue)
+		f.Solve(b)
+		if d := MaxAbsDiff(b, xTrue); d > 1e-10 {
+			t.Fatalf("n=%d: solution error %g", n, d)
+		}
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 4)
+	a.Set(1, 1, 2)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Det(), 2, 1e-12) {
+		t.Fatalf("det got %v, want 2", f.Det())
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Factor(a); err == nil {
+		t.Fatal("expected singular matrix error")
+	}
+}
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square Factor")
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 4, 17, 40} {
+		a := randomDiagDominant(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		prod := a.Mul(inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEqual(prod.At(i, j), want, 1e-9) {
+					t.Fatalf("n=%d: (A·A⁻¹)[%d,%d]=%v", n, i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// Property: for random diagonally dominant systems, Factor+Solve reproduces a
+// planted solution.
+func TestQuickLUSolve(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(99))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		a := randomDiagDominant(rng, n)
+		lu, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, xTrue)
+		lu.Solve(b)
+		return MaxAbsDiff(b, xTrue) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymTridiag is a symmetric tridiagonal matrix with diagonal Alpha (len n)
+// and off-diagonal Beta (len n−1). It is the shape produced by the Lanczos
+// process.
+type SymTridiag struct {
+	Alpha []float64
+	Beta  []float64
+}
+
+// NewSymTridiag validates lengths and wraps the slices (no copy).
+func NewSymTridiag(alpha, beta []float64) (*SymTridiag, error) {
+	if len(alpha) == 0 {
+		return nil, fmt.Errorf("linalg: tridiagonal matrix needs at least one diagonal entry")
+	}
+	if len(beta) != len(alpha)-1 {
+		return nil, fmt.Errorf("linalg: tridiagonal off-diagonal length %d, want %d", len(beta), len(alpha)-1)
+	}
+	return &SymTridiag{Alpha: alpha, Beta: beta}, nil
+}
+
+// N returns the dimension.
+func (t *SymTridiag) N() int { return len(t.Alpha) }
+
+// sturmCount returns the number of eigenvalues of t that are strictly less
+// than x, using the classic Sturm-sequence recurrence on the shifted LDLᵀ
+// pivots.
+func (t *SymTridiag) sturmCount(x float64) int {
+	count := 0
+	d := 1.0
+	n := t.N()
+	for i := 0; i < n; i++ {
+		var off float64
+		if i > 0 {
+			off = t.Beta[i-1]
+		}
+		var prev float64
+		if d != 0 {
+			prev = off * off / d
+		} else {
+			// Standard guard: treat an exactly-zero pivot as a tiny one.
+			prev = math.Abs(off) / 1e-308
+		}
+		d = t.Alpha[i] - x - prev
+		if d < 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// GershgorinBounds returns an interval [lo, hi] guaranteed to contain every
+// eigenvalue of t.
+func (t *SymTridiag) GershgorinBounds() (lo, hi float64) {
+	n := t.N()
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		r := 0.0
+		if i > 0 {
+			r += math.Abs(t.Beta[i-1])
+		}
+		if i < n-1 {
+			r += math.Abs(t.Beta[i])
+		}
+		if v := t.Alpha[i] - r; v < lo {
+			lo = v
+		}
+		if v := t.Alpha[i] + r; v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Eigenvalue returns the k-th smallest eigenvalue (k in [0, n)) of t to
+// absolute tolerance tol via Sturm bisection.
+func (t *SymTridiag) Eigenvalue(k int, tol float64) float64 {
+	n := t.N()
+	if k < 0 || k >= n {
+		panic(fmt.Sprintf("linalg: eigenvalue index %d out of range [0,%d)", k, n))
+	}
+	lo, hi := t.GershgorinBounds()
+	if tol <= 0 {
+		tol = 1e-12 * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+	}
+	for hi-lo > tol {
+		mid := 0.5 * (lo + hi)
+		if t.sturmCount(mid) > k {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// ExtremeEigenvalues returns the smallest and largest eigenvalues of t.
+func (t *SymTridiag) ExtremeEigenvalues(tol float64) (smallest, largest float64) {
+	return t.Eigenvalue(0, tol), t.Eigenvalue(t.N()-1, tol)
+}

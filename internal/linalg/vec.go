@@ -1,0 +1,67 @@
+package linalg
+
+import "math"
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	// Two-pass scaling keeps intermediate squares in range for the small
+	// vectors this package handles.
+	var maxAbs float64
+	for _, v := range x {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		t := v / maxAbs
+		s += t * t
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// Axpy computes y += a·x.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// MaxAbsDiff returns max_i |x[i]−y[i]|.
+func MaxAbsDiff(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("linalg: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i, v := range x {
+		if d := math.Abs(v - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

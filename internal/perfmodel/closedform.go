@@ -1,0 +1,38 @@
+package perfmodel
+
+import "math"
+
+// Closed-form per-solve time estimates from the paper's Equations 2, 3, 5
+// and 6. These are *not* used to generate results — the experiments price a
+// real event stream — but serve as analytic cross-checks: measured virtual
+// times must track these shapes (see tests and the eq-vs-measured ablation
+// bench).
+
+// EqChronGearDiag is Eq. 2: one diagonal-preconditioned ChronGear solve of
+// an N²-point system on p ranks taking K iterations.
+func EqChronGearDiag(m *Machine, n2 float64, p int, k float64) float64 {
+	return k * (18*n2/float64(p)*m.Theta +
+		8*math.Sqrt(n2/float64(p))*8*m.Beta +
+		float64(4+log2Ceil(p))*m.Alpha)
+}
+
+// EqPCSIDiag is Eq. 3: one diagonal-preconditioned P-CSI solve.
+func EqPCSIDiag(m *Machine, n2 float64, p int, k float64) float64 {
+	return k * (13*n2/float64(p)*m.Theta +
+		4*m.Alpha +
+		8*math.Sqrt(n2/float64(p))*8*m.Beta)
+}
+
+// EqChronGearEVP is Eq. 5: ChronGear with the block-EVP preconditioner.
+func EqChronGearEVP(m *Machine, n2 float64, p int, k float64) float64 {
+	return k * (31*n2/float64(p)*m.Theta +
+		8*math.Sqrt(n2/float64(p))*8*m.Beta +
+		float64(4+log2Ceil(p))*m.Alpha)
+}
+
+// EqPCSIEVP is Eq. 6: P-CSI with the block-EVP preconditioner.
+func EqPCSIEVP(m *Machine, n2 float64, p int, k float64) float64 {
+	return k * (26*n2/float64(p)*m.Theta +
+		4*m.Alpha +
+		8*math.Sqrt(n2/float64(p))*8*m.Beta)
+}

@@ -1,0 +1,173 @@
+// Package perfmodel prices the virtual-rank runtime's event stream with
+// machine models of the two systems the paper evaluates on: Yellowstone
+// (NCAR; 2.6 GHz Sandy Bridge, FDR InfiniBand) and Edison (NERSC; 2.4 GHz
+// Ivy Bridge, Aries Dragonfly).
+//
+// The model follows the paper's own cost analysis (§2.2): computation is
+// θ seconds per flop, a point-to-point message costs α + β·bytes, and a
+// p-rank allreduce costs ⌈log₂p⌉·α_r for the binomial tree. On top of the
+// deterministic terms the model draws two kinds of reproducible
+// pseudo-random noise:
+//
+//   - per-rank OS jitter on compute phases (a small multiplicative term
+//     plus rare interruption spikes). The runtime's max-clock reduction
+//     semantics turn the *maximum* jitter across ranks into reduction wait
+//     time, reproducing the noise sensitivity the paper cites (Ferreira et
+//     al.) — solvers with fewer global reductions feel less of it.
+//
+//   - per-event network contention on reductions, with heavy-tailed draws
+//     whose mean grows like √p (the expected maximum of p heavy-tailed
+//     per-link delays). Edison's Dragonfly shows much larger contention
+//     variability than Yellowstone (§5.3), which is why the paper reports
+//     the average of the best three ChronGear runs there.
+//
+// All draws are hash-based functions of (seed, rank, sequence number), so
+// simulated times are bitwise reproducible and independent of goroutine
+// scheduling.
+package perfmodel
+
+import "math"
+
+// Machine is a priced machine model; it implements comm.CostModel.
+type Machine struct {
+	Name string
+
+	Theta float64 // seconds per floating-point operation (effective)
+	Alpha float64 // point-to-point latency (s)
+	Beta  float64 // transfer time per byte (s/B)
+
+	ReduceAlpha float64 // per-tree-stage latency of an allreduce (s)
+
+	JitterFrac float64 // multiplicative OS jitter amplitude on compute
+	SpikeRate  float64 // OS interruption rate (events per second of compute)
+	SpikeMean  float64 // mean OS interruption length (s)
+
+	ContentionMean float64 // mean per-reduction contention at p=1 scale (s·√p)
+	ContentionTail float64 // probability of a 5× heavy-tail contention draw
+
+	Seed uint64
+}
+
+// Yellowstone returns the model of NCAR's Yellowstone used for the paper's
+// §5.1–5.2 experiments.
+func Yellowstone() *Machine {
+	return &Machine{
+		Name:           "yellowstone",
+		Theta:          1.0e-9,
+		Alpha:          1.5e-6,
+		Beta:           6.7e-10,
+		ReduceAlpha:    2.0e-6,
+		JitterFrac:     0.02,
+		SpikeRate:      20,
+		SpikeMean:      50e-6,
+		ContentionMean: 0.8e-6,
+		ContentionTail: 0.05,
+		Seed:           0x59657377, // deterministic, machine-specific
+	}
+}
+
+// Edison returns the model of NERSC's Edison used in §5.3: slightly faster
+// cores, lower base latency, but much larger network-contention noise on
+// global reductions (Dragonfly job placement, Wang et al.).
+func Edison() *Machine {
+	return &Machine{
+		Name:           "edison",
+		Theta:          0.9e-9,
+		Alpha:          1.2e-6,
+		Beta:           5.0e-10,
+		ReduceAlpha:    1.8e-6,
+		JitterFrac:     0.02,
+		SpikeRate:      20,
+		SpikeMean:      50e-6,
+		ContentionMean: 2.6e-6,
+		ContentionTail: 0.25,
+		Seed:           0x45646973,
+	}
+}
+
+// Ideal returns a noise-free machine with Yellowstone's deterministic
+// parameters — useful for isolating algorithmic effects in ablations.
+func Ideal() *Machine {
+	m := Yellowstone()
+	m.Name = "ideal"
+	m.JitterFrac = 0
+	m.SpikeRate = 0
+	m.ContentionMean = 0
+	m.ContentionTail = 0
+	return m
+}
+
+// WithSeed returns a copy of m with a different noise seed (for run-to-run
+// variability studies such as the paper's best-of-three Edison averages).
+func (m *Machine) WithSeed(seed uint64) *Machine {
+	c := *m
+	c.Seed = m.Seed ^ (seed+1)*0x9E3779B97F4A7C15
+	return &c
+}
+
+// FlopTime implements comm.CostModel: n flops plus deterministic OS jitter.
+func (m *Machine) FlopTime(n int64, rank int, seq int64) float64 {
+	base := float64(n) * m.Theta
+	if m.JitterFrac == 0 && m.SpikeRate == 0 {
+		return base
+	}
+	h := hash3(m.Seed, uint64(rank)+1, uint64(seq))
+	u1 := toUnit(h)
+	t := base * (1 + m.JitterFrac*(2*u1-1))
+	if m.SpikeRate > 0 {
+		// Probability of an OS interruption during this compute phase.
+		pHit := base * m.SpikeRate
+		u2 := toUnit(splitmix64(h))
+		if u2 < pHit {
+			u3 := toUnit(splitmix64(h ^ 0xD1B54A32D192ED03))
+			t += -m.SpikeMean * math.Log(1-u3*0.999999)
+		}
+	}
+	return t
+}
+
+// P2PTime implements comm.CostModel: α + β·bytes.
+func (m *Machine) P2PTime(bytes int64) float64 {
+	return m.Alpha + m.Beta*float64(bytes)
+}
+
+// ReduceTime implements comm.CostModel: binomial-tree latency plus
+// heavy-tailed contention whose scale grows like √p.
+func (m *Machine) ReduceTime(p int, seq int64) float64 {
+	t := float64(log2Ceil(p)) * m.ReduceAlpha
+	if m.ContentionMean > 0 && p > 1 {
+		mean := m.ContentionMean * math.Sqrt(float64(p))
+		h := hash3(m.Seed^0xA076D1F3, uint64(p), uint64(seq))
+		u1 := toUnit(h)
+		draw := -mean * math.Log(1-u1*0.999999)
+		if toUnit(splitmix64(h)) < m.ContentionTail {
+			draw *= 5
+		}
+		t += draw
+	}
+	return t
+}
+
+// log2Ceil returns ⌈log₂ p⌉ for p ≥ 1.
+func log2Ceil(p int) int {
+	s := 0
+	for (1 << s) < p {
+		s++
+	}
+	return s
+}
+
+// splitmix64 is the SplitMix64 finalizer — a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func hash3(a, b, c uint64) uint64 {
+	return splitmix64(splitmix64(splitmix64(a)^b) ^ c)
+}
+
+// toUnit maps a 64-bit hash to [0, 1).
+func toUnit(h uint64) float64 { return float64(h>>11) / (1 << 53) }

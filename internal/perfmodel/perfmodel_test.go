@@ -1,0 +1,188 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFlopTimeDeterministic(t *testing.T) {
+	m := Yellowstone()
+	a := m.FlopTime(1000, 3, 17)
+	b := m.FlopTime(1000, 3, 17)
+	if a != b {
+		t.Fatalf("FlopTime not deterministic: %v vs %v", a, b)
+	}
+	if c := m.FlopTime(1000, 4, 17); c == a {
+		t.Fatal("FlopTime should differ across ranks (jitter)")
+	}
+}
+
+func TestFlopTimeNearBase(t *testing.T) {
+	m := Yellowstone()
+	base := 1e6 * m.Theta
+	// Average over many draws should be within jitter+spike expectations.
+	var sum float64
+	n := 2000
+	for s := 0; s < n; s++ {
+		sum += m.FlopTime(1e6, 1, int64(s))
+	}
+	avg := sum / float64(n)
+	if avg < base*0.95 || avg > base*1.3 {
+		t.Fatalf("mean flop time %v far from base %v", avg, base)
+	}
+}
+
+func TestIdealNoiseFree(t *testing.T) {
+	m := Ideal()
+	for s := int64(0); s < 10; s++ {
+		if got := m.FlopTime(1e6, int(s), s); got != 1e6*m.Theta {
+			t.Fatalf("ideal machine has jitter: %v", got)
+		}
+		if got := m.ReduceTime(4096, s); got != 12*m.ReduceAlpha {
+			t.Fatalf("ideal reduce has noise: %v", got)
+		}
+	}
+}
+
+func TestP2PTime(t *testing.T) {
+	m := Yellowstone()
+	if got := m.P2PTime(0); got != m.Alpha {
+		t.Fatalf("zero-byte message cost %v, want α", got)
+	}
+	if got := m.P2PTime(1000); got != m.Alpha+1000*m.Beta {
+		t.Fatalf("P2PTime wrong: %v", got)
+	}
+}
+
+func TestReduceTimeGrowsWithRanks(t *testing.T) {
+	m := Yellowstone()
+	avg := func(p int) float64 {
+		var s float64
+		for seq := int64(0); seq < 500; seq++ {
+			s += m.ReduceTime(p, seq)
+		}
+		return s / 500
+	}
+	t470, t2700, t16875 := avg(470), avg(2700), avg(16875)
+	if !(t470 < t2700 && t2700 < t16875) {
+		t.Fatalf("reduce time not increasing: %v %v %v", t470, t2700, t16875)
+	}
+	// The √p contention scaling should make the growth clearly superlinear
+	// in log p: 16875/470 ranks is ~6× in √p.
+	if t16875 < 3*t470 {
+		t.Fatalf("contention growth too weak: %v vs %v", t16875, t470)
+	}
+}
+
+func TestEdisonNoisierThanYellowstone(t *testing.T) {
+	ys, ed := Yellowstone(), Edison()
+	avgVar := func(m *Machine) (mean, variance float64) {
+		const n = 2000
+		var s, s2 float64
+		for seq := int64(0); seq < n; seq++ {
+			v := m.ReduceTime(16875, seq)
+			s += v
+			s2 += v * v
+		}
+		mean = s / n
+		variance = s2/n - mean*mean
+		return mean, variance
+	}
+	mYS, vYS := avgVar(ys)
+	mED, vED := avgVar(ed)
+	if mED <= mYS {
+		t.Fatalf("Edison mean reduce %v should exceed Yellowstone %v", mED, mYS)
+	}
+	if vED <= vYS {
+		t.Fatalf("Edison variance %v should exceed Yellowstone %v", vED, vYS)
+	}
+}
+
+func TestWithSeedChangesDraws(t *testing.T) {
+	m := Yellowstone()
+	m2 := m.WithSeed(1)
+	if m2.Seed == m.Seed {
+		t.Fatal("WithSeed did not change seed")
+	}
+	same := 0
+	for seq := int64(0); seq < 100; seq++ {
+		if m.ReduceTime(1024, seq) == m2.ReduceTime(1024, seq) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("reseeded machine draws mostly identical (%d/100)", same)
+	}
+	if m2.Name != m.Name || m2.Theta != m.Theta {
+		t.Fatal("WithSeed should only change the seed")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11, 16875: 15}
+	for p, want := range cases {
+		if got := log2Ceil(p); got != want {
+			t.Fatalf("log2Ceil(%d)=%d want %d", p, got, want)
+		}
+	}
+}
+
+func TestClosedFormsCrossoverShape(t *testing.T) {
+	// The analytic forms must reproduce the paper's headline shape: at small
+	// p ChronGear beats P-CSI per solve (K_pcsi > K_cg), but beyond a few
+	// thousand ranks the (4+log p)α reduction term makes ChronGear lose.
+	m := Ideal()
+	n2 := 3600.0 * 2400.0
+	kcg, kpcsi := 180.0, 260.0
+	small := EqChronGearDiag(m, n2, 128, kcg) < EqPCSIDiag(m, n2, 128, kpcsi)
+	large := EqChronGearDiag(m, n2, 16875, kcg) > EqPCSIDiag(m, n2, 16875, kpcsi)
+	if !small {
+		t.Fatal("expected ChronGear to win at small core counts")
+	}
+	if !large {
+		t.Fatal("expected P-CSI to win at 16875 cores")
+	}
+}
+
+func TestClosedFormEVPTradeoff(t *testing.T) {
+	// EVP roughly doubles per-iteration compute but cuts iterations ~3×, so
+	// with K'=K/3 the EVP variants must be faster at scale.
+	m := Ideal()
+	n2 := 3600.0 * 2400.0
+	p := 16875
+	k := 240.0
+	if EqPCSIEVP(m, n2, p, k/3) >= EqPCSIDiag(m, n2, p, k) {
+		t.Fatal("EVP-preconditioned P-CSI should win at scale")
+	}
+	if EqChronGearEVP(m, n2, p, k/3) >= EqChronGearDiag(m, n2, p, k) {
+		t.Fatal("EVP-preconditioned ChronGear should win at scale")
+	}
+}
+
+func TestSplitmixAvalanche(t *testing.T) {
+	// Neighbouring inputs should produce wildly different outputs.
+	h1 := splitmix64(1)
+	h2 := splitmix64(2)
+	diff := h1 ^ h2
+	bits := 0
+	for diff != 0 {
+		bits += int(diff & 1)
+		diff >>= 1
+	}
+	if bits < 16 {
+		t.Fatalf("poor avalanche: only %d differing bits", bits)
+	}
+	if u := toUnit(h1); u < 0 || u >= 1 {
+		t.Fatalf("toUnit out of range: %v", u)
+	}
+}
+
+func TestSpikeTailIsFinite(t *testing.T) {
+	m := Yellowstone()
+	for seq := int64(0); seq < 10000; seq++ {
+		v := m.FlopTime(1e9, 0, seq) // huge phase: spikes certain
+		if math.IsInf(v, 0) || math.IsNaN(v) || v < 0 {
+			t.Fatalf("bad flop time %v at seq %d", v, seq)
+		}
+	}
+}

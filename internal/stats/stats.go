@@ -1,0 +1,150 @@
+// Package stats implements the paper's §6 evaluation machinery: the simple
+// RMSE port-verification test that proved unable to detect solver-induced
+// error, and the ensemble-based root-mean-square Z-score (RMSZ) that can.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE returns the root-mean-square difference between two fields over the
+// points where include is true (ocean masking, marginal-sea exclusion).
+func RMSE(a, b []float64, include []bool) float64 {
+	if len(a) != len(b) || len(a) != len(include) {
+		panic("stats: RMSE length mismatch")
+	}
+	var s float64
+	n := 0
+	for k, in := range include {
+		if !in {
+			continue
+		}
+		d := a[k] - b[k]
+		s += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+// Ensemble accumulates per-point mean and variance across members with
+// Welford's algorithm, point-parallel.
+type Ensemble struct {
+	n     int
+	mean  []float64
+	m2    []float64
+	mask  []bool
+	rmszs []float64 // per-member leave-none-out RMSZ, filled by Finalize
+}
+
+// NewEnsemble prepares an accumulator for fields of the given length; mask
+// selects the points that participate (nil = all).
+func NewEnsemble(length int, mask []bool) *Ensemble {
+	if mask != nil && len(mask) != length {
+		panic("stats: mask length mismatch")
+	}
+	return &Ensemble{
+		mean: make([]float64, length),
+		m2:   make([]float64, length),
+		mask: mask,
+	}
+}
+
+// Add folds one member field into the accumulator.
+func (e *Ensemble) Add(x []float64) {
+	if len(x) != len(e.mean) {
+		panic("stats: member length mismatch")
+	}
+	e.n++
+	inv := 1 / float64(e.n)
+	for k, v := range x {
+		d := v - e.mean[k]
+		e.mean[k] += d * inv
+		e.m2[k] += d * (v - e.mean[k])
+	}
+}
+
+// Size returns the number of members added.
+func (e *Ensemble) Size() int { return e.n }
+
+// Mean returns the per-point ensemble mean (live slice; do not modify).
+func (e *Ensemble) Mean() []float64 { return e.mean }
+
+// Std returns the per-point sample standard deviation.
+func (e *Ensemble) Std() []float64 {
+	out := make([]float64, len(e.m2))
+	if e.n < 2 {
+		return out
+	}
+	inv := 1 / float64(e.n-1)
+	for k, v := range e.m2 {
+		out[k] = math.Sqrt(v * inv)
+	}
+	return out
+}
+
+// RMSZ computes the root-mean-square Z-score of a new case x against the
+// ensemble (paper §6):
+//
+//	RMSZ = sqrt( 1/n · Σⱼ ((x(j) − μ(j))/δ(j))² )
+//
+// over masked points with δ(j) > 0. It returns an error when fewer than two
+// members were added or no point has spread.
+func (e *Ensemble) RMSZ(x []float64) (float64, error) {
+	if e.n < 2 {
+		return 0, fmt.Errorf("stats: RMSZ needs ≥ 2 ensemble members, have %d", e.n)
+	}
+	if len(x) != len(e.mean) {
+		return 0, fmt.Errorf("stats: case length %d, want %d", len(x), len(e.mean))
+	}
+	inv := 1 / float64(e.n-1)
+	var s float64
+	n := 0
+	for k, v := range x {
+		if e.mask != nil && !e.mask[k] {
+			continue
+		}
+		sd := math.Sqrt(e.m2[k] * inv)
+		if sd == 0 {
+			continue
+		}
+		z := (v - e.mean[k]) / sd
+		s += z * z
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("stats: ensemble has no spread at any masked point")
+	}
+	return math.Sqrt(s / float64(n)), nil
+}
+
+// MemberEnvelope computes the RMSZ of each stored member against the
+// ensemble itself — the paper's yellow band in Fig. 13. Because members are
+// part of the statistics, their RMSZ hovers around 1; the caller gets the
+// min and max over members.
+func MemberEnvelope(members [][]float64, mask []bool) (lo, hi float64, err error) {
+	if len(members) < 2 {
+		return 0, 0, fmt.Errorf("stats: envelope needs ≥ 2 members")
+	}
+	e := NewEnsemble(len(members[0]), mask)
+	for _, m := range members {
+		e.Add(m)
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, m := range members {
+		z, zerr := e.RMSZ(m)
+		if zerr != nil {
+			return 0, 0, zerr
+		}
+		if z < lo {
+			lo = z
+		}
+		if z > hi {
+			hi = z
+		}
+	}
+	return lo, hi, nil
+}

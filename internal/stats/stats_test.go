@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSEKnown(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 3, 4}
+	inc := []bool{true, true, true, true}
+	if got := RMSE(a, b, inc); got != 0 {
+		t.Fatalf("identical fields RMSE %v", got)
+	}
+	b[0] = 3 // diff 2 at one of four points → sqrt(4/4)=1
+	if got := RMSE(a, b, inc); got != 1 {
+		t.Fatalf("RMSE %v, want 1", got)
+	}
+	inc[0] = false // excluded → 0
+	if got := RMSE(a, b, inc); got != 0 {
+		t.Fatalf("masked RMSE %v, want 0", got)
+	}
+}
+
+func TestEnsembleMeanStd(t *testing.T) {
+	e := NewEnsemble(2, nil)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		e.Add([]float64{v, 10 * v})
+	}
+	if e.Size() != 5 {
+		t.Fatalf("size %d", e.Size())
+	}
+	if m := e.Mean(); math.Abs(m[0]-3) > 1e-12 || math.Abs(m[1]-30) > 1e-12 {
+		t.Fatalf("mean %v", m)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if s := e.Std(); math.Abs(s[0]-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std %v", s)
+	}
+}
+
+func TestRMSZOfMeanIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := NewEnsemble(50, nil)
+	for m := 0; m < 10; m++ {
+		x := make([]float64, 50)
+		for k := range x {
+			x[k] = rng.NormFloat64()
+		}
+		e.Add(x)
+	}
+	z, err := e.RMSZ(e.Mean())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z != 0 {
+		t.Fatalf("RMSZ of ensemble mean %v, want 0", z)
+	}
+}
+
+func TestRMSZDetectsOutlier(t *testing.T) {
+	// Members ~ N(0,1); a case at 5σ should score ≈5, a case drawn from
+	// the same distribution ≈1. This is the §6 separation property.
+	rng := rand.New(rand.NewSource(4))
+	n := 2000
+	e := NewEnsemble(n, nil)
+	for m := 0; m < 40; m++ {
+		x := make([]float64, n)
+		for k := range x {
+			x[k] = rng.NormFloat64()
+		}
+		e.Add(x)
+	}
+	normal := make([]float64, n)
+	outlier := make([]float64, n)
+	for k := range normal {
+		normal[k] = rng.NormFloat64()
+		outlier[k] = 5 * rng.NormFloat64()
+	}
+	zn, err := e.RMSZ(normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zo, err := e.RMSZ(outlier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zn < 0.8 || zn > 1.3 {
+		t.Fatalf("in-distribution RMSZ %v, want ≈1", zn)
+	}
+	if zo < 4 || zo > 6.5 {
+		t.Fatalf("outlier RMSZ %v, want ≈5", zo)
+	}
+}
+
+func TestRMSZErrors(t *testing.T) {
+	e := NewEnsemble(3, nil)
+	e.Add([]float64{1, 2, 3})
+	if _, err := e.RMSZ([]float64{1, 2, 3}); err == nil {
+		t.Fatal("RMSZ with one member should error")
+	}
+	e.Add([]float64{1, 2, 3}) // identical member: zero spread everywhere
+	if _, err := e.RMSZ([]float64{1, 2, 3}); err == nil {
+		t.Fatal("RMSZ with zero spread should error")
+	}
+}
+
+func TestRMSZMasked(t *testing.T) {
+	mask := []bool{true, false}
+	e := NewEnsemble(2, mask)
+	e.Add([]float64{0, 100})
+	e.Add([]float64{2, -100})
+	// Masked point 1 is ignored; point 0 has mean 1, std sqrt(2).
+	z, err := e.RMSZ([]float64{1 + math.Sqrt2, 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z-1) > 1e-12 {
+		t.Fatalf("masked RMSZ %v, want 1", z)
+	}
+}
+
+func TestMemberEnvelopeAroundOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	members := make([][]float64, 40)
+	for m := range members {
+		x := make([]float64, 1000)
+		for k := range x {
+			x[k] = rng.NormFloat64()
+		}
+		members[m] = x
+	}
+	lo, hi, err := MemberEnvelope(members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0.8 || hi > 1.2 || lo >= hi {
+		t.Fatalf("member envelope [%v, %v], want tight around 1", lo, hi)
+	}
+	if _, _, err := MemberEnvelope(members[:1], nil); err == nil {
+		t.Fatal("envelope with one member should error")
+	}
+}
+
+// Property: Welford mean matches the naive mean for random member sets.
+func TestQuickWelfordMean(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(6))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nm := 2 + rng.Intn(10)
+		np := 1 + rng.Intn(20)
+		e := NewEnsemble(np, nil)
+		sums := make([]float64, np)
+		for m := 0; m < nm; m++ {
+			x := make([]float64, np)
+			for k := range x {
+				x[k] = rng.NormFloat64() * 100
+				sums[k] += x[k]
+			}
+			e.Add(x)
+		}
+		for k, s := range sums {
+			if math.Abs(e.Mean()[k]-s/float64(nm)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

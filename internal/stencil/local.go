@@ -1,0 +1,88 @@
+package stencil
+
+// Local is the restriction of a nine-point Operator to one decomposition
+// block, stored with a halo of width H on all four sides (POP keeps width-2
+// halos so a non-diagonal preconditioner plus the matvec still need only one
+// boundary update per iteration — paper §2.2).
+//
+// Arrays are padded: dimensions (NxI+2H)×(NyI+2H) where NxI×NyI is the
+// interior (owned) region. Index (i,j) with 0 ≤ i < NxP is flattened
+// j*NxP+i; interior points have H ≤ i < NxP−H, H ≤ j < NyP−H.
+type Local struct {
+	NxP, NyP        int // padded dimensions
+	H               int // halo width
+	AC, AN, AE, ANE []float64
+	Mask            []bool
+}
+
+// NxI and NyI return the interior (owned) dimensions.
+func (l *Local) NxI() int { return l.NxP - 2*l.H }
+func (l *Local) NyI() int { return l.NyP - 2*l.H }
+
+// InteriorLen returns the number of owned points.
+func (l *Local) InteriorLen() int { return l.NxI() * l.NyI() }
+
+// Apply computes y = A·x over the interior points, reading x (and the
+// coefficient arrays) from the first halo ring where the stencil reaches
+// outside the block. Halo entries of y are left untouched; callers refresh
+// them with a halo update when needed. Land rows are identity rows.
+func (l *Local) Apply(y, x []float64) {
+	nx := l.NxP
+	if len(x) != nx*l.NyP || len(y) != nx*l.NyP {
+		panic("stencil: Local.Apply dimension mismatch")
+	}
+	for j := l.H; j < l.NyP-l.H; j++ {
+		base := j * nx
+		for i := l.H; i < nx-l.H; i++ {
+			k := base + i
+			y[k] = l.AC[k]*x[k] +
+				l.AN[k]*x[k+nx] + l.AN[k-nx]*x[k-nx] +
+				l.AE[k]*x[k+1] + l.AE[k-1]*x[k-1] +
+				l.ANE[k]*x[k+nx+1] + l.ANE[k-nx]*x[k-nx+1] +
+				l.ANE[k-1]*x[k+nx-1] + l.ANE[k-nx-1]*x[k-nx-1]
+		}
+	}
+}
+
+// ApplyFlops returns the floating-point operation count of one Apply call,
+// following the paper's 9·n² accounting (9 multiply-adds per owned point).
+func (l *Local) ApplyFlops() int64 { return 9 * int64(l.InteriorLen()) }
+
+// MaskedDotInterior returns Σ x[k]·y[k] over owned ocean points — the
+// rank-local part of a masked global reduction.
+func (l *Local) MaskedDotInterior(x, y []float64) float64 {
+	var s float64
+	nx := l.NxP
+	for j := l.H; j < l.NyP-l.H; j++ {
+		base := j * nx
+		for i := l.H; i < nx-l.H; i++ {
+			k := base + i
+			if l.Mask[k] {
+				s += x[k] * y[k]
+			}
+		}
+	}
+	return s
+}
+
+// DiagonalInterior returns a fresh padded array holding the operator
+// diagonal (AC); halo entries are included so preconditioners can read them.
+func (l *Local) DiagonalInterior() []float64 {
+	d := make([]float64, len(l.AC))
+	copy(d, l.AC)
+	return d
+}
+
+// InteriorOceanPoints counts owned ocean points.
+func (l *Local) InteriorOceanPoints() int {
+	n := 0
+	nx := l.NxP
+	for j := l.H; j < l.NyP-l.H; j++ {
+		for i := l.H; i < nx-l.H; i++ {
+			if l.Mask[j*nx+i] {
+				n++
+			}
+		}
+	}
+	return n
+}

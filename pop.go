@@ -1,0 +1,270 @@
+// Package pop is the public API of this reproduction of "Improving the
+// Scalability of the Ocean Barotropic Solver in the Community Earth System
+// Model" (SC '15): POP-style synthetic ocean grids, the nine-point implicit
+// free-surface operator, the barotropic solvers (ChronGear, PCG, CSI and
+// P-CSI) with diagonal/block-EVP/block-LU preconditioning on a virtual-rank
+// communication substrate, a wind-driven barotropic ocean model with the
+// ensemble-based solver-verification machinery of §6, and drivers that
+// regenerate every table and figure in the paper's evaluation.
+//
+// Quick start:
+//
+//	g := pop.NewGrid(pop.GridOneDegree)
+//	solver, _ := pop.NewSolver(g, pop.SolverSpec{Method: "pcsi", Precond: "evp", Cores: 96})
+//	res, x, _ := solver.Solve(b, nil)
+//
+// See examples/ for runnable programs and cmd/popbench for the experiment
+// harness.
+package pop
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/model"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+	"repro/internal/stencil"
+)
+
+// Re-exported substrate types. The aliases make the full internal APIs
+// available to users of this package.
+type (
+	// Grid is a curvilinear ocean grid with land mask and metrics.
+	Grid = grid.Grid
+	// GridSpec parameterizes synthetic grid generation.
+	GridSpec = grid.Spec
+	// Operator is the assembled nine-point barotropic operator.
+	Operator = stencil.Operator
+	// Result summarizes one solve (iterations, convergence, virtual-time
+	// statistics).
+	Result = core.Result
+	// Machine is a priced machine model (Yellowstone, Edison, Ideal).
+	Machine = perfmodel.Machine
+	// Model is the barotropic ocean model with temperature tracers.
+	Model = model.Model
+	// ModelConfig configures a Model run.
+	ModelConfig = model.Config
+	// Ensemble accumulates the §6 RMSZ statistics.
+	Ensemble = stats.Ensemble
+	// SolverOptions exposes the full solver option set.
+	SolverOptions = core.Options
+)
+
+// Preset grid names for NewGrid.
+const (
+	// GridOneDegree is the paper's 1° production grid (320×384).
+	GridOneDegree = "1deg"
+	// GridTenthDegree is the paper's 0.1° grid (3600×2400; ~8.6M points).
+	GridTenthDegree = "0.1deg"
+	// GridTenthDegreeScaled keeps the 0.1° geography at 1/16 the points.
+	GridTenthDegreeScaled = "0.1deg-scaled"
+	// GridTest is a small grid for experimentation (64×48).
+	GridTest = "test"
+)
+
+// NewGrid generates one of the preset synthetic grids.
+func NewGrid(preset string) (*Grid, error) {
+	switch preset {
+	case GridOneDegree:
+		return grid.OneDegree(), nil
+	case GridTenthDegree:
+		return grid.TenthDegree(), nil
+	case GridTenthDegreeScaled:
+		return grid.Generate(grid.QuarterScaleTenthSpec()), nil
+	case GridTest:
+		return grid.Generate(grid.TestSpec()), nil
+	default:
+		return nil, fmt.Errorf("pop: unknown grid preset %q", preset)
+	}
+}
+
+// GenerateGrid builds a synthetic grid from a custom spec.
+func GenerateGrid(spec GridSpec) *Grid { return grid.Generate(spec) }
+
+// NewFlatBasin returns an all-ocean rectangular test basin.
+func NewFlatBasin(nx, ny int, depth, dx, dy float64) *Grid {
+	return grid.NewFlatBasin(nx, ny, depth, dx, dy)
+}
+
+// AssembleOperator builds the implicit free-surface operator for barotropic
+// time step tau (seconds).
+func AssembleOperator(g *Grid, tau float64) *Operator {
+	return stencil.Assemble(g, stencil.PhiFromTimeStep(tau))
+}
+
+// MachineByName returns a machine model: "yellowstone", "edison", "ideal",
+// or "" (free: zero-cost, numerics only).
+func MachineByName(name string) (*Machine, error) {
+	switch name {
+	case "yellowstone":
+		return perfmodel.Yellowstone(), nil
+	case "edison":
+		return perfmodel.Edison(), nil
+	case "ideal":
+		return perfmodel.Ideal(), nil
+	case "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("pop: unknown machine %q", name)
+	}
+}
+
+// SolverSpec configures NewSolver.
+type SolverSpec struct {
+	// Method: "chrongear" (POP's production solver), "pcg", "pipecg"
+	// (Ghysels–Vanroose pipelined CG with overlap pricing), "pcsi" (the
+	// paper's contribution), or "csi" (unpreconditioned Stiefel).
+	Method string
+	// Precond: "diagonal" (default), "evp", "blocklu", or "none".
+	Precond string
+	// Tau is the barotropic time step used for the operator's mass term
+	// (default 1920 s, the 1° class step).
+	Tau float64
+	// Cores is the virtual rank count (0 = one rank per available block;
+	// otherwise the nearest 3:2-aspect blocking is chosen).
+	Cores int
+	// MachineName prices virtual time ("" = free).
+	MachineName string
+	// Options exposes the remaining solver knobs (tolerance, EVP block
+	// size, Lanczos controls); zero values take defaults.
+	Options SolverOptions
+}
+
+// Solver bundles an operator, decomposition, communicator, and session.
+type Solver struct {
+	Spec    SolverSpec
+	G       *Grid
+	Op      *Operator
+	Session *core.Session
+	Cores   int
+}
+
+// NewSolver builds a distributed solver over g.
+func NewSolver(g *Grid, spec SolverSpec) (*Solver, error) {
+	if spec.Tau == 0 {
+		spec.Tau = 1920
+	}
+	method := spec.Method
+	if method == "" {
+		method = "chrongear"
+	}
+	opts := spec.Options
+	switch spec.Precond {
+	case "", "diagonal":
+		opts.Precond = core.PrecondDiagonal
+	case "evp":
+		opts.Precond = core.PrecondEVP
+	case "blocklu":
+		opts.Precond = core.PrecondBlockLU
+	case "none":
+		opts.Precond = core.PrecondIdentity
+	default:
+		return nil, fmt.Errorf("pop: unknown preconditioner %q", spec.Precond)
+	}
+	switch method {
+	case "chrongear", "pcg", "pcsi", "pipecg":
+	case "csi":
+		method = "pcsi"
+		opts.Precond = core.PrecondIdentity
+	default:
+		return nil, fmt.Errorf("pop: unknown method %q", spec.Method)
+	}
+
+	op := stencil.Assemble(g, stencil.PhiFromTimeStep(spec.Tau))
+	var d *decomp.Decomposition
+	var err error
+	if spec.Cores > 0 {
+		bx, by, _, cerr := decomp.ChooseBlocking(g, spec.Cores, 3, 2)
+		if cerr != nil {
+			return nil, cerr
+		}
+		d, err = decomp.New(g, bx, by, decomp.DefaultHalo)
+	} else {
+		d, err = decomp.New(g, g.Nx, g.Ny, decomp.DefaultHalo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cores := d.AssignOnePerRank()
+	machine, err := MachineByName(spec.MachineName)
+	if err != nil {
+		return nil, err
+	}
+	var cost comm.CostModel
+	if machine != nil {
+		cost = machine
+	}
+	w, err := comm.NewWorld(d, cost)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.NewSession(g, op, d, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	spec.Method = method
+	return &Solver{Spec: spec, G: g, Op: op, Session: sess, Cores: cores}, nil
+}
+
+// Solve runs the configured method on right-hand side b with initial guess
+// x0 (nil = zero) and returns the result and the solution.
+func (s *Solver) Solve(b, x0 []float64) (Result, []float64, error) {
+	if len(b) != s.G.N() {
+		return Result{}, nil, fmt.Errorf("pop: rhs length %d, want %d", len(b), s.G.N())
+	}
+	if x0 == nil {
+		x0 = make([]float64, len(b))
+	}
+	switch s.Spec.Method {
+	case "pcg":
+		return s.Session.SolvePCG(b, x0)
+	case "pipecg":
+		return s.Session.SolvePipeCG(b, x0)
+	case "pcsi":
+		return s.Session.SolvePCSI(b, x0)
+	default:
+		return s.Session.SolveChronGear(b, x0)
+	}
+}
+
+// EstimateEigenvalues exposes the Lanczos bounds estimation (P-CSI setup).
+// Pass nil for the robust random probe.
+func (s *Solver) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64, steps int, err error) {
+	return s.Session.EstimateEigenvalues(b, maxSteps)
+}
+
+// NewModel builds the barotropic ocean model.
+func NewModel(cfg ModelConfig) (*Model, error) { return model.New(cfg) }
+
+// Experiments is the per-figure experiment harness.
+type Experiments = experiments.Config
+
+// NewExperiments prepares an experiment context ("yellowstone" machine when
+// m is nil). quick selects reduced-scale grids.
+func NewExperiments(m *Machine, quick bool, progress io.Writer) *Experiments {
+	return experiments.NewConfig(m, quick, progress)
+}
+
+// RunExperiment executes one experiment by id ("fig1".."fig13", "tab1",
+// "evpsetup"), writing its tables to w.
+func RunExperiment(id string, c *Experiments, w io.Writer) error {
+	return experiments.Run(id, c, w)
+}
+
+// ExperimentNames lists the available experiment ids.
+func ExperimentNames() []string { return experiments.Names() }
+
+// NewEnsemble prepares a §6 RMSZ accumulator over fields of the given
+// length; mask selects participating points (nil = all).
+func NewEnsemble(length int, mask []bool) *Ensemble {
+	return stats.NewEnsemble(length, mask)
+}
+
+// RMSE is the paper's simple port-verification metric.
+func RMSE(a, b []float64, include []bool) float64 { return stats.RMSE(a, b, include) }

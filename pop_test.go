@@ -1,0 +1,137 @@
+package pop
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestNewGridPresets(t *testing.T) {
+	g, err := NewGrid(GridTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nx != 64 || g.Ny != 48 {
+		t.Fatalf("test grid %dx%d", g.Nx, g.Ny)
+	}
+	if _, err := NewGrid("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestSolverFacadeEndToEnd(t *testing.T) {
+	g, err := NewGrid(GridTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := AssembleOperator(g, 1920)
+	// b = A·ones over ocean.
+	ones := make([]float64, g.N())
+	for k, m := range g.Mask {
+		if m {
+			ones[k] = 1
+		}
+	}
+	b := make([]float64, g.N())
+	op.Apply(b, ones)
+	for k, m := range g.Mask {
+		if !m {
+			b[k] = 0
+		}
+	}
+
+	for _, spec := range []SolverSpec{
+		{Method: "chrongear", Precond: "diagonal", Cores: 12},
+		{Method: "pcsi", Precond: "evp", Cores: 12, MachineName: "yellowstone"},
+		{Method: "pcg", Precond: "blocklu"},
+	} {
+		s, err := NewSolver(g, spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		res, x, err := s.Solve(b, nil)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if !res.Converged {
+			t.Fatalf("%+v did not converge", spec)
+		}
+		for k, m := range g.Mask {
+			if m && math.Abs(x[k]-1) > 1e-8 {
+				t.Fatalf("%+v: solution error at %d: %v", spec, k, x[k])
+			}
+		}
+		if spec.MachineName != "" && res.Stats.MaxClock <= 0 {
+			t.Fatalf("%+v: priced run has zero virtual time", spec)
+		}
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	g, _ := NewGrid(GridTest)
+	if _, err := NewSolver(g, SolverSpec{Method: "magic"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := NewSolver(g, SolverSpec{Precond: "magic"}); err == nil {
+		t.Fatal("unknown preconditioner accepted")
+	}
+	if _, err := NewSolver(g, SolverSpec{MachineName: "magic"}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	s, err := NewSolver(g, SolverSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(make([]float64, 3), nil); err == nil {
+		t.Fatal("wrong-length rhs accepted")
+	}
+}
+
+func TestCSIMethodMapsToUnpreconditioned(t *testing.T) {
+	g, _ := NewGrid(GridTest)
+	s, err := NewSolver(g, SolverSpec{Method: "csi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Spec.Method != "pcsi" {
+		t.Fatalf("csi should map onto pcsi, got %q", s.Spec.Method)
+	}
+}
+
+func TestModelFacade(t *testing.T) {
+	g, _ := NewGrid(GridTest)
+	m, err := NewModel(ModelConfig{Grid: g, Solver: model.SolverChronGear})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineByName(t *testing.T) {
+	for _, name := range []string{"yellowstone", "edison", "ideal"} {
+		m, err := MachineByName(name)
+		if err != nil || m == nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if m, err := MachineByName(""); err != nil || m != nil {
+		t.Fatal("empty machine should be nil, nil")
+	}
+}
+
+func TestExperimentNames(t *testing.T) {
+	names := ExperimentNames()
+	want := map[string]bool{"fig1": true, "fig8": true, "fig13": true, "tab1": true}
+	found := 0
+	for _, n := range names {
+		if want[n] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("registry missing expected experiments: %v", names)
+	}
+}
