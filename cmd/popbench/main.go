@@ -15,24 +15,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig1..fig13, tab1, evpsetup, or 'all')")
-		machine = flag.String("machine", "yellowstone", "machine model: yellowstone, edison, ideal")
-		quick   = flag.Bool("quick", false, "reduced-scale grids and core counts")
-		verbose = flag.Bool("v", true, "progress logging")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		targets = flag.String("targets", "", "comma-separated 0.1deg core-count targets overriding the paper axis")
+		exp       = flag.String("exp", "", "experiment id (fig1..fig13, tab1, evpsetup, or 'all')")
+		machine   = flag.String("machine", "yellowstone", "machine model: yellowstone, edison, ideal")
+		quick     = flag.Bool("quick", false, "reduced-scale grids and core counts")
+		verbose   = flag.Bool("v", true, "progress logging")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		targets   = flag.String("targets", "", "comma-separated 0.1deg core-count targets overriding the paper axis")
+		reportDir = flag.String("reportdir", "", "write per-experiment BENCH_<exp>.json run reports here")
+		traceOut  = flag.String("trace", "", "write JSONL span/event trace of all runs to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	obs.ServePprof(*pprofAddr)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
@@ -58,6 +64,11 @@ func main() {
 
 	cfg := experiments.NewConfig(m, *quick, os.Stderr)
 	cfg.Verbose = *verbose
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultCapacity)
+		cfg.Tracer = tracer
+	}
 	if *targets != "" {
 		var ts []int
 		for _, part := range strings.Split(*targets, ",") {
@@ -78,14 +89,56 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
+		before := len(cfg.Recorded())
 		if err := experiments.Run(id, cfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			failed = true
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "# %s done in %s\n", id, time.Since(start).Round(time.Second))
+		wall := time.Since(start)
+		fmt.Fprintf(os.Stderr, "# %s done in %s\n", id, wall.Round(time.Second))
+		if *reportDir != "" {
+			if err := writeReport(cfg, id, wall.Seconds(), cfg.Recorded()[before:], *reportDir); err != nil {
+				fmt.Fprintf(os.Stderr, "report %s: %v\n", id, err)
+				failed = true
+			}
+		}
+	}
+	if tracer != nil {
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "# trace ring dropped %d events (oldest lost)\n", d)
+		}
+		if err := obs.DumpTrace(tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeReport saves the experiment's machine-readable run report as
+// BENCH_<id>.json. Measurements are the slice this experiment added to
+// Config.Recorded(); an experiment replaying a cached sweep adds none.
+func writeReport(cfg *experiments.Config, id string, wallSeconds float64,
+	ms []experiments.Measurement, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep := experiments.NewBenchReport(cfg, id, wallSeconds, ms)
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "# wrote %s (%d measurements)\n", path, len(ms))
+	return nil
 }

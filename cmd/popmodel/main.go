@@ -13,18 +13,23 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		gridName = flag.String("grid", "test", "grid preset: test, 1deg, 0.1deg-scaled")
-		days     = flag.Float64("days", 10, "simulated days")
-		dt       = flag.Float64("dt", 2400, "time step (s)")
-		solver   = flag.String("solver", "chrongear", "barotropic solver: chrongear, pcg, pcsi")
-		precond  = flag.String("precond", "diagonal", "preconditioner: diagonal, evp, none, blocklu")
-		every    = flag.Float64("report", 1, "report interval (days)")
+		gridName   = flag.String("grid", "test", "grid preset: test, 1deg, 0.1deg-scaled")
+		days       = flag.Float64("days", 10, "simulated days")
+		dt         = flag.Float64("dt", 2400, "time step (s)")
+		solver     = flag.String("solver", "chrongear", "barotropic solver: chrongear, pcg, pcsi")
+		precond    = flag.String("precond", "diagonal", "preconditioner: diagonal, evp, none, blocklu")
+		every      = flag.Float64("report", 1, "report interval (days)")
+		traceOut   = flag.String("trace", "", "write JSONL span/event trace to this file")
+		metricsOut = flag.String("metrics", "", "write Prometheus-style metrics to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	obs.ServePprof(*pprofAddr)
 
 	g, err := pop.NewGrid(*gridName)
 	fatalIf(err)
@@ -51,6 +56,12 @@ func main() {
 	})
 	fatalIf(err)
 
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultCapacity)
+		m.Sess.W.Tracer = tracer
+	}
+
 	stepsPerReport := int(*every * 86400 / *dt)
 	totalSteps := int(*days * 86400 / *dt)
 	fmt.Printf("grid %s (%d×%d), dt=%.0fs, %d steps, solver %s+%s\n",
@@ -73,6 +84,31 @@ func main() {
 		iters := m.IterHistory[len(m.IterHistory)-1]
 		fmt.Printf("day %6.2f  KE=%.4e  ssh=[%+.3f,%+.3f] m  mean_ssh=%+.2e  iters=%d\n",
 			float64(done)**dt/86400, m.KineticEnergy(), etaMin, etaMax, m.MeanSSH(), iters)
+	}
+
+	if tracer != nil {
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "popmodel: trace ring dropped %d events (oldest lost)\n", d)
+		}
+		fatalIf(obs.DumpTrace(tracer, *traceOut))
+		fmt.Printf("trace: %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		reg.Counter("popmodel_steps_total", "model time steps integrated").Add(int64(totalSteps))
+		var iterSum int64
+		for _, it := range m.IterHistory {
+			iterSum += int64(it)
+		}
+		reg.Counter("popmodel_solver_iterations_total", "barotropic solver iterations across steps").Add(iterSum)
+		reg.Gauge("popmodel_kinetic_energy", "final kinetic energy").Set(m.KineticEnergy())
+		reg.Gauge("popmodel_mean_ssh_meters", "final mean sea-surface height").Set(m.MeanSSH())
+		if tracer != nil {
+			reg.Counter("popmodel_trace_dropped_events_total",
+				"events lost to trace ring wraparound").Add(tracer.Dropped())
+		}
+		fatalIf(obs.DumpMetrics(reg, *metricsOut))
+		fmt.Printf("metrics: %s\n", *metricsOut)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/decomp"
+	"repro/internal/obs"
 )
 
 // CostModel prices virtual time. Implementations live in perfmodel; the
@@ -89,6 +90,12 @@ type World struct {
 	D     *decomp.Decomposition
 	Cost  CostModel
 	NRank int
+
+	// Tracer, when non-nil, receives per-phase span events (compute, halo
+	// exchange, global reduction) with virtual-clock timestamps from every
+	// rank. Nil (the default) disables tracing: each instrumentation site
+	// then costs a single nil check and allocates nothing.
+	Tracer *obs.Tracer
 
 	reduceCh []chan []float64 // per-rank outbox for the reduction up-phase
 	bcastCh  []chan []float64 // per-rank inbox for the broadcast down-phase
@@ -163,13 +170,26 @@ type Rank struct {
 	clock     float64
 	reduceSeq int64
 	flopSeq   int64
+	trace     *obs.RankTrace // nil when the World has no tracer
 }
 
 // Counters returns a snapshot of the rank's accumulated counters.
 func (r *Rank) Counters() Counters { return r.ctr }
 
+// Trace returns the rank's trace buffer, nil when tracing is disabled.
+// Callers emitting solver-level events must nil-check (the hot-path
+// contract: disabled tracing is one branch, zero allocations).
+func (r *Rank) Trace() *obs.RankTrace { return r.trace }
+
 // ResetCounters zeroes the counters and virtual clock — used between
 // experiment phases (e.g. to time Lanczos setup apart from solves).
+//
+// It deliberately does NOT reset flopSeq or reduceSeq: cost models draw
+// deterministic OS-noise and network-contention jitter from (rank, seq),
+// and those noise streams must keep advancing across phases — resetting
+// them would replay identical jitter in every phase, correlating the
+// "random" noise between setup and solve and biasing the straggler
+// statistics the paper's §5.2 analysis depends on.
 func (r *Rank) ResetCounters() {
 	r.ctr = Counters{}
 	r.clock = 0
@@ -184,7 +204,12 @@ func (r *Rank) AddFlops(n int64) {
 	dt := r.World.Cost.FlopTime(n, r.ID, r.flopSeq)
 	r.flopSeq++
 	r.ctr.TComp += dt
+	t0 := r.clock
 	r.clock += dt
+	if r.trace != nil {
+		r.trace.Add(obs.Event{Name: obs.EvCompute, T0: t0, T1: r.clock,
+			Value: float64(n), Iter: -1, Straggler: -1})
+	}
 }
 
 // Stats is the aggregate result of one World.Run.
@@ -194,14 +219,53 @@ type Stats struct {
 	PerRank  []Counters // per-rank snapshots
 }
 
-// MeanCounters returns the per-rank average of the summed counters.
+// MeanCounters returns the per-rank average of the summed counters. An
+// empty Stats (no per-rank snapshots) yields the zero value rather than
+// NaN times.
 func (s *Stats) MeanCounters() Counters {
 	n := float64(len(s.PerRank))
+	if n == 0 {
+		return Counters{}
+	}
 	c := s.Sum
 	c.TComp /= n
 	c.THalo /= n
 	c.TReduce /= n
 	return c
+}
+
+// PhaseStat summarizes one phase's virtual time across ranks.
+type PhaseStat struct {
+	Min, Mean, Max float64
+}
+
+// Breakdown returns per-rank min/mean/max virtual time for the three POP
+// timer phases the paper reports (§2.2): computation, boundary updating,
+// and global reduction. An empty Stats yields zeros.
+func (s *Stats) Breakdown() (comp, halo, reduce PhaseStat) {
+	if len(s.PerRank) == 0 {
+		return
+	}
+	stat := func(get func(*Counters) float64) PhaseStat {
+		ps := PhaseStat{Min: get(&s.PerRank[0]), Max: get(&s.PerRank[0])}
+		var sum float64
+		for i := range s.PerRank {
+			v := get(&s.PerRank[i])
+			sum += v
+			if v < ps.Min {
+				ps.Min = v
+			}
+			if v > ps.Max {
+				ps.Max = v
+			}
+		}
+		ps.Mean = sum / float64(len(s.PerRank))
+		return ps
+	}
+	comp = stat(func(c *Counters) float64 { return c.TComp })
+	halo = stat(func(c *Counters) float64 { return c.THalo })
+	reduce = stat(func(c *Counters) float64 { return c.TReduce })
+	return
 }
 
 // Run executes program on every rank concurrently and returns aggregated
@@ -215,6 +279,11 @@ func (w *World) Run(program func(*Rank)) Stats {
 			blocks[i] = &w.D.Blocks[bid]
 		}
 		ranks[rid] = &Rank{ID: rid, World: w, Blocks: blocks}
+		if w.Tracer.Enabled() {
+			ranks[rid].trace = w.Tracer.Rank(rid)
+			ranks[rid].trace.Add(obs.Event{Name: obs.EvRunBegin, Point: true,
+				Value: float64(w.NRank), Iter: -1, Straggler: -1})
+		}
 	}
 	if w.NRank == 1 {
 		program(ranks[0])

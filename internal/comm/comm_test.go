@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/decomp"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/stencil"
 )
 
@@ -429,4 +430,143 @@ func TestAllReduceOverlapValues(t *testing.T) {
 			panic("wrong overlapped allreduce sum")
 		}
 	})
+}
+
+// MeanCounters on an empty Stats must return zeros, not NaN (division by a
+// zero-length PerRank slice).
+func TestMeanCountersEmptyStats(t *testing.T) {
+	var st Stats
+	m := st.MeanCounters()
+	if math.IsNaN(m.TComp) || math.IsNaN(m.THalo) || math.IsNaN(m.TReduce) {
+		t.Fatalf("empty stats produced NaN means: %+v", m)
+	}
+	if m != (Counters{}) {
+		t.Fatalf("empty stats mean = %+v, want zero value", m)
+	}
+	comp, halo, reduce := st.Breakdown()
+	if comp != (PhaseStat{}) || halo != (PhaseStat{}) || reduce != (PhaseStat{}) {
+		t.Fatalf("empty stats breakdown nonzero: %v %v %v", comp, halo, reduce)
+	}
+}
+
+// seqProbe records the sequence numbers the runtime hands the cost model,
+// to pin ResetCounters' contract: counters and clock reset, but flopSeq and
+// reduceSeq keep advancing (deterministic noise streams must not replay
+// across phases).
+type seqProbe struct {
+	mu         sync.Mutex
+	flopSeqs   []int64
+	reduceSeqs []int64
+}
+
+func (p *seqProbe) FlopTime(n int64, _ int, seq int64) float64 {
+	p.mu.Lock()
+	p.flopSeqs = append(p.flopSeqs, seq)
+	p.mu.Unlock()
+	return 1
+}
+func (p *seqProbe) P2PTime(int64) float64 { return 0 }
+func (p *seqProbe) ReduceTime(_ int, seq int64) float64 {
+	p.mu.Lock()
+	p.reduceSeqs = append(p.reduceSeqs, seq)
+	p.mu.Unlock()
+	return 1
+}
+
+func TestResetCountersPreservesNoiseSequences(t *testing.T) {
+	g := grid.Generate(grid.TestSpec())
+	d, err := decomp.New(g, g.Nx, g.Ny, decomp.DefaultHalo) // single rank
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AssignOnePerRank()
+	probe := &seqProbe{}
+	w, err := NewWorld(d, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *Rank) {
+		r.AddFlops(1)
+		r.AllReduce([]float64{1})
+		r.ResetCounters()
+		if c := r.Counters(); c != (Counters{}) || r.Clock() != 0 {
+			panic("ResetCounters did not zero counters and clock")
+		}
+		r.AddFlops(1)
+		r.AllReduce([]float64{1})
+	})
+	wantSeqs := []int64{0, 1}
+	for i, got := range probe.flopSeqs {
+		if got != wantSeqs[i] {
+			t.Fatalf("flop seqs %v, want %v (flopSeq must advance across ResetCounters)",
+				probe.flopSeqs, wantSeqs)
+		}
+	}
+	for i, got := range probe.reduceSeqs {
+		if got != wantSeqs[i] {
+			t.Fatalf("reduce seqs %v, want %v (reduceSeq must advance across ResetCounters)",
+				probe.reduceSeqs, wantSeqs)
+		}
+	}
+	if len(probe.flopSeqs) != 2 || len(probe.reduceSeqs) != 2 {
+		t.Fatalf("expected 2 flop and 2 reduce charges, got %d and %d",
+			len(probe.flopSeqs), len(probe.reduceSeqs))
+	}
+}
+
+// skewCost makes rank skew deterministic: rank r's flops cost r time units,
+// so the highest rank is always the reduction straggler.
+type skewCost struct{}
+
+func (skewCost) FlopTime(n int64, rank int, _ int64) float64 { return float64(rank) }
+func (skewCost) P2PTime(int64) float64                       { return 0 }
+func (skewCost) ReduceTime(int, int64) float64               { return 1 }
+
+func TestReduceStragglerAttribution(t *testing.T) {
+	_, d, w := testWorld(t, 8, 8, skewCost{})
+	p := d.NRanks
+	if p < 2 {
+		t.Skip("needs multiple ranks")
+	}
+	tr := obs.NewTracer(64)
+	w.Tracer = tr
+	w.Run(func(r *Rank) {
+		r.AddFlops(1) // rank r's clock is now r
+		r.AllReduce([]float64{1})
+	})
+	slowest := p - 1
+	for _, e := range tr.Events() {
+		if e.Name != obs.EvReduce {
+			continue
+		}
+		if e.Straggler != slowest {
+			t.Fatalf("rank %d saw straggler %d, want %d", e.Rank, e.Straggler, slowest)
+		}
+		wantWait := float64(slowest - e.Rank)
+		if math.Abs(e.Wait-wantWait) > 1e-12 {
+			t.Fatalf("rank %d wait %g, want %g", e.Rank, e.Wait, wantWait)
+		}
+	}
+}
+
+func TestBreakdownMatchesCounters(t *testing.T) {
+	_, _, w := testWorld(t, 8, 8, fixedCost{})
+	st := w.Run(func(r *Rank) {
+		r.AddFlops(int64(r.ID + 1))
+		r.AllReduce([]float64{1})
+	})
+	comp, _, reduce := st.Breakdown()
+	if comp.Min != 1 || comp.Max != float64(len(st.PerRank)) {
+		t.Fatalf("comp breakdown %+v", comp)
+	}
+	if reduce.Max <= 0 {
+		t.Fatalf("reduce breakdown %+v", reduce)
+	}
+	var sum float64
+	for _, c := range st.PerRank {
+		sum += c.TComp
+	}
+	if want := sum / float64(len(st.PerRank)); math.Abs(comp.Mean-want) > 1e-12 {
+		t.Fatalf("comp mean %g, want %g", comp.Mean, want)
+	}
 }

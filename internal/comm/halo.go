@@ -1,5 +1,7 @@
 package comm
 
+import "repro/internal/obs"
+
 // Halo exchange. POP updates block halos in two phases — east/west columns
 // first, then north/south rows that span the full padded width including the
 // freshly received columns — so corner values from diagonal neighbour blocks
@@ -80,6 +82,7 @@ func (r *Rank) exchangePhase(levels [][][]float64, sideA, sideB int) {
 	// Receives: fill halos, tracking sender clocks and message costs.
 	arrival := r.clock
 	var charge float64
+	var phaseBytes int64
 	for i, b := range r.Blocks {
 		for _, side := range [2]int{sideA, sideB} {
 			off := sideOffsets[side]
@@ -98,11 +101,16 @@ func (r *Rank) exchangePhase(levels [][][]float64, sideA, sideB int) {
 			bytes := int64(len(m.data) * 8)
 			r.ctr.HaloMsgs++
 			r.ctr.HaloBytes += bytes
+			phaseBytes += bytes
 			charge += w.Cost.P2PTime(bytes)
 		}
 	}
 	r.clock = arrival + charge
 	r.ctr.THalo += r.clock - entry
+	if r.trace != nil {
+		r.trace.Add(obs.Event{Name: obs.EvHalo, T0: entry, T1: r.clock,
+			Value: float64(phaseBytes), Iter: -1, Straggler: -1})
+	}
 }
 
 // opposite maps a receiving side to the sender's receiving side.

@@ -1,5 +1,7 @@
 package comm
 
+import "repro/internal/obs"
+
 // Global reductions. The combine order is a fixed binomial tree over rank
 // IDs — the same association an MPI_Allreduce on a power-of-two communicator
 // performs — so results are bitwise reproducible regardless of goroutine
@@ -10,6 +12,13 @@ package comm
 // result (a fresh slice). It also synchronizes virtual clocks: every rank
 // leaves at max(entry clocks) + ReduceTime. Collective: every rank must call
 // it the same number of times with equal-length arguments.
+//
+// Alongside the maximum entry clock the reduction carries the ID of the
+// rank that owned it — the straggler whose late arrival every other rank
+// waited for. When tracing is enabled each rank records a reduce span with
+// that attribution and its own wait (max entry − own entry), which is what
+// lets a trace answer "which rank was the critical path of that reduction?"
+// (ties break toward the lowest rank, deterministically).
 func (r *Rank) AllReduce(vals []float64) []float64 {
 	w := r.World
 	p := w.NRank
@@ -18,10 +27,14 @@ func (r *Rank) AllReduce(vals []float64) []float64 {
 	r.reduceSeq++
 	r.ctr.Reductions++
 
+	// Two metadata slots ride behind the payload: [n] the max entry clock,
+	// [n+1] the rank owning it. Both reduce with max-by-clock, so the
+	// payload sum below is untouched.
 	n := len(vals)
-	partial := make([]float64, n+1)
+	partial := make([]float64, n+2)
 	copy(partial, vals)
-	partial[n] = r.clock // reduced with max, not sum
+	partial[n] = r.clock
+	partial[n+1] = float64(r.ID)
 
 	var result []float64
 	if p == 1 {
@@ -42,8 +55,9 @@ func (r *Rank) AllReduce(vals []float64) []float64 {
 				for i := 0; i < n; i++ {
 					partial[i] += m[i]
 				}
-				if m[n] > partial[n] {
+				if m[n] > partial[n] || (m[n] == partial[n] && m[n+1] < partial[n+1]) {
 					partial[n] = m[n]
+					partial[n+1] = m[n+1]
 				}
 			}
 		}
@@ -62,6 +76,11 @@ func (r *Rank) AllReduce(vals []float64) []float64 {
 	newClock := result[n] + w.Cost.ReduceTime(p, seq)
 	r.ctr.TReduce += newClock - entry
 	r.clock = newClock
+	if r.trace != nil {
+		r.trace.Add(obs.Event{Name: obs.EvReduce, T0: entry, T1: newClock,
+			Value: float64(n), Straggler: int(result[n+1]), Wait: result[n] - entry,
+			Iter: -1})
+	}
 
 	out := make([]float64, n)
 	copy(out, result)

@@ -42,6 +42,7 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 	var nSteps int
 	var lastNu, lastMu float64
 	var failure error
+	var eigTrace []EigBound // appended by rank 0 only
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -135,7 +136,9 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 			if r.ID == 0 {
 				lastNu, lastMu = nuK, muK
 				nSteps = len(aL)
+				eigTrace = append(eigTrace, EigBound{Step: len(aL), Nu: nuK, Mu: muK})
 			}
+			traceEigBound(r, len(aL), nuK, muK)
 			if conv && !forced {
 				break
 			}
@@ -151,6 +154,7 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 	s.Mu = lastMu * s.Opts.EigSafetyHigh
 	s.EigSteps = nSteps
 	s.EigenStats = &st
+	s.EigTrace = eigTrace
 	return s.Nu, s.Mu, s.EigSteps, nil
 }
 

@@ -17,6 +17,7 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 	o := s.Opts
 	out := make([]float64, len(b))
 	res := Result{Solver: "pcg", Precond: o.Precond}
+	trace := &SolveTrace{}
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -104,6 +105,7 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 				if r.ID == 0 {
 					res.RelResidual = rn / bnorm
 				}
+				traceResidual(r, trace, k, rn/bnorm)
 				if rn <= target {
 					converged = true
 					break
@@ -125,6 +127,7 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 		}
 	})
 	res.Stats = st
+	res.Trace = trace
 	s.restoreLand(out, b)
 	return res, out, nil
 }

@@ -31,6 +31,7 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 	o := s.Opts
 	out := make([]float64, len(b))
 	res := Result{Solver: "pcsi", Precond: o.Precond, Nu: s.Nu, Mu: s.Mu, EigSteps: s.EigSteps}
+	trace := &SolveTrace{EigBounds: s.EigTrace}
 
 	nu, mu := s.Nu, s.Mu
 
@@ -124,6 +125,7 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 				if r.ID == 0 {
 					res.RelResidual = rn / bnorm
 				}
+				traceResidual(r, trace, k, rn/bnorm)
 				if rn <= target {
 					converged = true
 					break
@@ -148,6 +150,7 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 					inv4a2 = 1 / (4 * alpha * alpha)
 					omega = 2 / gamma
 					prevRn = rn
+					traceInterval(r, trace, k, "raise-mu", nu, mu)
 					continue
 				}
 				// Slow-convergence guard: the Lanczos ν approaches λ_min
@@ -175,6 +178,7 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 					gamma = beta / alpha
 					inv4a2 = 1 / (4 * alpha * alpha)
 					omega = 2 / gamma
+					traceInterval(r, trace, k, "widen-nu", nu, mu)
 				}
 				prevRn = rn
 			}
@@ -188,6 +192,7 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 		}
 	})
 	res.Stats = st
+	res.Trace = trace
 	s.restoreLand(out, b)
 	if !res.Converged && res.RelResidual > 1e6 {
 		return res, out, fmt.Errorf("core: P-CSI diverged (relative residual %g); Chebyshev interval [%g, %g] may not bracket the spectrum", res.RelResidual, nu, mu)

@@ -26,6 +26,7 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 	o := s.Opts
 	out := make([]float64, len(b))
 	res := Result{Solver: "pipecg", Precond: o.Precond}
+	trace := &SolveTrace{}
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -118,6 +119,7 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 				if r.ID == 0 {
 					res.RelResidual = rn / bnorm
 				}
+				traceResidual(r, trace, k, rn/bnorm)
 				if rn <= target {
 					converged = true
 					break
@@ -153,6 +155,7 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 		}
 	})
 	res.Stats = st
+	res.Trace = trace
 	s.restoreLand(out, b)
 	return res, out, nil
 }

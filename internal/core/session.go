@@ -101,6 +101,9 @@ type Session struct {
 	Nu, Mu     float64
 	EigSteps   int
 	EigenStats *comm.Stats
+	// EigTrace is the per-step bound evolution of the last
+	// EstimateEigenvalues run (copied into P-CSI Result traces).
+	EigTrace []EigBound
 }
 
 // rankState is the per-rank persistent state; each rank goroutine builds
@@ -255,4 +258,9 @@ type Result struct {
 	// P-CSI extras.
 	Nu, Mu   float64
 	EigSteps int
+	// Trace is the per-iteration telemetry (residual history at each
+	// convergence check; for P-CSI also the Lanczos bound evolution and
+	// interval-widening events). Always recorded — appends happen only at
+	// convergence checks, so the cost is negligible.
+	Trace *SolveTrace
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 )
 
@@ -61,9 +62,17 @@ type Config struct {
 	// paper's core-count axis (used to trim very long full-scale runs).
 	TargetOverride map[string][]int
 
+	// Tracer, when non-nil, is attached to every World the experiment
+	// drivers create, so sweeps emit per-phase span events like popsolve
+	// runs do. Large sweeps generate many events; size the ring
+	// accordingly or accept drops.
+	Tracer *obs.Tracer
+
 	grids  map[string]*grid.Grid
 	sweeps map[string][]Measurement
 	baro   map[string]baroPoint
+
+	recorded []Measurement // every measureOn result, in completion order
 }
 
 // NewConfig prepares an experiment context on the given machine model.
@@ -192,18 +201,13 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+// Recorded returns every measurement taken so far (sweeps and single
+// points alike), in completion order. Callers snapshot len(Recorded())
+// before an experiment and slice after it to attribute measurements —
+// note that cached sweeps record nothing on reuse, so a figure that
+// shares an earlier sweep contributes no new entries.
+func (c *Config) Recorded() []Measurement {
+	return c.recorded
 }
 
 // OverrideGrid substitutes the grid used for a resolution key ("1deg" or

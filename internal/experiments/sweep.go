@@ -95,6 +95,7 @@ func (c *Config) measureOn(machine comm.CostModel, res string, g *grid.Grid, op 
 	if err != nil {
 		return Measurement{}, err
 	}
+	w.Tracer = c.Tracer
 	sess, err := core.NewSession(g, op, d, w, core.Options{Precond: sc.Precond})
 	if err != nil {
 		return Measurement{}, err
@@ -151,6 +152,7 @@ func (c *Config) measureOn(machine comm.CostModel, res string, g *grid.Grid, op 
 	m.ReduceTime *= inv
 	c.logf("%s %s cores=%d block=%dx%d iters=%d solve=%.4gs (comp %.4g, halo %.4g, reduce %.4g)",
 		res, sc, cores, bx, by, m.Iterations, m.SolveTime, m.CompTime, m.HaloTime, m.ReduceTime)
+	c.recorded = append(c.recorded, m)
 	return m, nil
 }
 
@@ -240,6 +242,7 @@ func (c *Config) BaroclinicStepTime(res string, target int) (cores int, stepTime
 	if err != nil {
 		return 0, 0, err
 	}
+	w.Tracer = c.Tracer
 	wl, err := baroclinic.New(d, w, 0)
 	if err != nil {
 		return 0, 0, err

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+)
+
+// ServePprof starts the net/http/pprof debug server on addr (e.g.
+// ":6060") in a background goroutine; an empty addr is a no-op. The
+// server lives for the process — CLI runs exit rather than shut it down.
+func ServePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: pprof server on %s: %v\n", addr, err)
+		}
+	}()
+}
+
+// DumpTrace writes the tracer's retained events as JSONL to path.
+// A nil tracer or empty path is a no-op.
+func DumpTrace(t *Tracer, path string) error {
+	if t == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DumpMetrics writes the registry in Prometheus text exposition to path.
+// A nil registry or empty path is a no-op.
+func DumpMetrics(r *Registry, path string) error {
+	if r == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

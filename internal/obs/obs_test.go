@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Bucket edges follow the Prometheus "le" convention: a value equal to a
+// bound belongs to that bound's bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.0000001, 10, 99, 100, 1e6} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 1} // (−∞,1], (1,10], (10,100], (100,+Inf)
+	for i, n := range want {
+		if got := h.BucketCount(i); got != n {
+			t.Errorf("bucket %d: got %d, want %d", i, got, n)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.0000001+10+99+100+1e6; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := NewHistogram([]float64{100, 1, 10})
+	h.Observe(5)
+	if got := h.BucketCount(1); got != 1 {
+		t.Errorf("value 5 should land in (1,10]; bucket counts %v %v %v %v",
+			h.BucketCount(0), h.BucketCount(1), h.BucketCount(2), h.BucketCount(3))
+	}
+}
+
+// Counters, gauges and histograms must be safe under concurrent writers —
+// run with -race.
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	g := r.Gauge("test_gauge", "")
+	h := r.Histogram("test_hist", "", []float64{0.25, 0.5, 0.75})
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%4) / 4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pop_reductions_total", "global reductions").Add(42)
+	r.Gauge(`pop_phase_seconds{phase="comp"}`, "per-phase virtual seconds").Set(1.5)
+	r.Gauge(`pop_phase_seconds{phase="halo"}`, "per-phase virtual seconds").Set(0.5)
+	h := r.Histogram("pop_reduce_wait_seconds", "reduction waits", []float64{1e-6, 1e-3})
+	h.Observe(5e-4)
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE pop_reductions_total counter",
+		"pop_reductions_total 42",
+		"# TYPE pop_phase_seconds gauge",
+		`pop_phase_seconds{phase="comp"} 1.5`,
+		`pop_reduce_wait_seconds_bucket{le="0.001"} 1`,
+		`pop_reduce_wait_seconds_bucket{le="+Inf"} 1`,
+		"pop_reduce_wait_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	// The TYPE header for a labeled family must appear exactly once.
+	if n := strings.Count(text, "# TYPE pop_phase_seconds gauge"); n != 1 {
+		t.Errorf("pop_phase_seconds TYPE line appears %d times", n)
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]float64
+		Histograms map[string]struct {
+			Counts []int64 `json:"counts"`
+			Count  int64   `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON export does not parse: %v", err)
+	}
+	if decoded.Counters["pop_reductions_total"] != 42 {
+		t.Errorf("JSON counter = %d, want 42", decoded.Counters["pop_reductions_total"])
+	}
+	if decoded.Histograms["pop_reduce_wait_seconds"].Count != 1 {
+		t.Errorf("JSON histogram count wrong")
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	rt := tr.Rank(0)
+	for i := 0; i < 10; i++ {
+		rt.Add(Event{Name: EvCompute, T0: float64(i), T1: float64(i), Iter: -1, Straggler: -1})
+	}
+	if got := rt.Len(); got != 4 {
+		t.Fatalf("retained %d events, want 4", got)
+	}
+	if got := rt.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := rt.Events()
+	for i, e := range evs {
+		if want := float64(6 + i); e.T0 != want {
+			t.Errorf("event %d: T0 = %g, want %g (oldest-first order after wrap)", i, e.T0, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("tracer dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestNilTracerDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer must report disabled")
+	}
+}
+
+func TestSummarizeReduces(t *testing.T) {
+	events := []Event{
+		{Rank: 0, Name: EvReduce, T0: 0, T1: 1, Iter: -1, Straggler: 1, Wait: 0.5},
+		{Rank: 1, Name: EvReduce, T0: 0.5, T1: 1, Iter: -1, Straggler: 1, Wait: 0},
+		{Rank: 0, Name: EvReduce, T0: 1, T1: 2, Iter: -1, Straggler: 0, Wait: 0},
+		{Rank: 1, Name: EvReduce, T0: 1, T1: 2, Iter: -1, Straggler: 0, Wait: 0.25},
+		{Rank: 0, Name: EvCompute, T0: 2, T1: 3, Iter: -1, Straggler: -1},
+	}
+	s := SummarizeReduces(events)
+	if s.Reductions != 2 {
+		t.Errorf("reductions = %d, want 2", s.Reductions)
+	}
+	if s.StragglerCount[1] != 1 || s.StragglerCount[0] != 1 {
+		t.Errorf("straggler counts = %v", s.StragglerCount)
+	}
+	if s.WaitByRank[0] != 0.5 || s.WaitByRank[1] != 0.25 {
+		t.Errorf("waits = %v", s.WaitByRank)
+	}
+	if s.MaxWait != 0.5 {
+		t.Errorf("max wait = %g", s.MaxWait)
+	}
+	var buf bytes.Buffer
+	s.Fprint(&buf)
+	if !strings.Contains(buf.String(), "straggler attribution") {
+		t.Errorf("Fprint output: %s", buf.String())
+	}
+}

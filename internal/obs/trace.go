@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event names emitted by the runtime and the solvers. Span events bracket a
+// phase on one rank's virtual clock; point events mark a solver milestone.
+const (
+	// EvCompute brackets one charged computation phase (an AddFlops call);
+	// Value is the flop count.
+	EvCompute = "compute"
+	// EvHalo brackets one halo-exchange phase (E/W or N/S); Value is the
+	// bytes received cross-rank.
+	EvHalo = "halo"
+	// EvReduce brackets one global reduction; Straggler is the rank whose
+	// entry clock was the reduction's critical path, Wait is how long this
+	// rank waited for it (max entry clock − own entry clock), Value is the
+	// reduced payload length.
+	EvReduce = "reduce"
+	// EvResidual is a convergence check: Iter is the solver iteration,
+	// Value the relative residual ‖r‖/‖b‖.
+	EvResidual = "residual"
+	// EvEigBound is one Lanczos step's eigenvalue-bound estimate: Iter is
+	// the step, Value = ν (lower), Aux = μ (upper).
+	EvEigBound = "eig_bound"
+	// EvIntervalWiden is P-CSI's slow-convergence guard widening the
+	// Chebyshev interval downward; Value/Aux are the new ν/μ.
+	EvIntervalWiden = "interval_widen"
+	// EvIntervalRaise is P-CSI's divergence guard raising μ; Value/Aux are
+	// the new ν/μ.
+	EvIntervalRaise = "interval_raise"
+	// EvRunBegin marks the start of one World.Run on a rank. Every run
+	// restarts the virtual clock at zero, so timestamps are monotone
+	// non-decreasing per rank *within* a run segment; consumers must treat
+	// this marker as a segment boundary. Value is the run's rank count.
+	EvRunBegin = "run_begin"
+)
+
+// Event is one trace record. Spans carry [T0, T1] on the emitting rank's
+// virtual clock; point events set Point and use T0 as their timestamp
+// (span durations can legitimately be zero under a free cost model, so
+// point-ness is explicit rather than inferred). Iter is −1 and Straggler
+// −1 when not applicable.
+type Event struct {
+	Rank      int
+	Name      string
+	T0, T1    float64
+	Point     bool
+	Iter      int
+	Value     float64
+	Aux       float64
+	Straggler int
+	Wait      float64
+}
+
+// IsPoint reports whether the event is an instantaneous marker.
+func (e *Event) IsPoint() bool { return e.Point }
+
+// RankTrace is one rank's ring buffer. It is written by exactly one
+// goroutine (the rank's SPMD program) — the runtime hands each rank its own
+// buffer — so writes need no synchronization; reading happens after the
+// rank program returns.
+type RankTrace struct {
+	rank  int
+	buf   []Event
+	next  int   // next write position
+	total int64 // events ever recorded
+}
+
+// Add records one event, overwriting the oldest when the ring is full. The
+// event's Rank field is stamped by the buffer.
+func (rt *RankTrace) Add(e Event) {
+	e.Rank = rt.rank
+	rt.buf[rt.next] = e
+	rt.next++
+	if rt.next == len(rt.buf) {
+		rt.next = 0
+	}
+	rt.total++
+}
+
+// Len returns the number of retained events.
+func (rt *RankTrace) Len() int {
+	if rt.total < int64(len(rt.buf)) {
+		return int(rt.total)
+	}
+	return len(rt.buf)
+}
+
+// Dropped returns how many events the ring overwrote.
+func (rt *RankTrace) Dropped() int64 {
+	if d := rt.total - int64(len(rt.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the retained events in record order (oldest first).
+func (rt *RankTrace) Events() []Event {
+	n := rt.Len()
+	out := make([]Event, 0, n)
+	if rt.total > int64(len(rt.buf)) {
+		out = append(out, rt.buf[rt.next:]...)
+		out = append(out, rt.buf[:rt.next]...)
+		return out
+	}
+	return append(out, rt.buf[:rt.next]...)
+}
+
+// Tracer owns the per-rank ring buffers. A nil *Tracer is a valid disabled
+// tracer: the runtime checks Enabled() once per World.Run and leaves the
+// per-rank hook pointers nil, so a disabled tracer costs one pointer
+// comparison per instrumentation site and allocates nothing.
+type Tracer struct {
+	mu    sync.Mutex
+	cap   int
+	ranks map[int]*RankTrace
+}
+
+// DefaultCapacity is the per-rank ring size when NewTracer is given ≤ 0.
+const DefaultCapacity = 1 << 16
+
+// NewTracer builds a tracer whose per-rank rings retain capPerRank events.
+func NewTracer(capPerRank int) *Tracer {
+	if capPerRank <= 0 {
+		capPerRank = DefaultCapacity
+	}
+	return &Tracer{cap: capPerRank, ranks: make(map[int]*RankTrace)}
+}
+
+// Enabled reports whether the tracer records events.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Rank returns (creating on first use) rank id's buffer.
+func (t *Tracer) Rank(id int) *RankTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rt, ok := t.ranks[id]
+	if !ok {
+		rt = &RankTrace{rank: id, buf: make([]Event, t.cap)}
+		t.ranks[id] = rt
+	}
+	return rt
+}
+
+// Events returns every retained event, grouped by rank (ascending) and in
+// record order within each rank.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int, 0, len(t.ranks))
+	for id := range t.ranks {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	var out []Event
+	for _, id := range ids {
+		out = append(out, t.ranks[id].Events()...)
+	}
+	return out
+}
+
+// Dropped returns the total events lost to ring wraparound.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d int64
+	for _, rt := range t.ranks {
+		d += rt.Dropped()
+	}
+	return d
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// jsonLine is one JSONL trace record. Ev is "B"/"E" (span begin/end) or "P"
+// (point). Optional fields ride on the "E" and "P" lines.
+type jsonLine struct {
+	Ev        string   `json:"ev"`
+	Rank      int      `json:"rank"`
+	Name      string   `json:"name"`
+	T         float64  `json:"t"`
+	Iter      *int     `json:"iter,omitempty"`
+	Value     *float64 `json:"value,omitempty"`
+	Aux       *float64 `json:"aux,omitempty"`
+	Straggler *int     `json:"straggler,omitempty"`
+	Wait      *float64 `json:"wait,omitempty"`
+}
+
+func payload(l *jsonLine, e *Event) {
+	if e.Iter >= 0 {
+		l.Iter = &e.Iter
+	}
+	v := e.Value
+	l.Value = &v
+	if e.Aux != 0 {
+		a := e.Aux
+		l.Aux = &a
+	}
+	if e.Straggler >= 0 {
+		l.Straggler = &e.Straggler
+		w := e.Wait
+		l.Wait = &w
+	}
+}
+
+// WriteJSONL renders the trace as JSON Lines: each span becomes a balanced
+// "B"/"E" pair, each point event a single "P" line, grouped per rank in
+// virtual-clock order (timestamps are monotone non-decreasing within a
+// rank — the virtual clock never runs backwards).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		e := e
+		if e.IsPoint() {
+			l := jsonLine{Ev: "P", Rank: e.Rank, Name: e.Name, T: e.T0}
+			payload(&l, &e)
+			if err := enc.Encode(l); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := enc.Encode(jsonLine{Ev: "B", Rank: e.Rank, Name: e.Name, T: e.T0}); err != nil {
+			return err
+		}
+		l := jsonLine{Ev: "E", Rank: e.Rank, Name: e.Name, T: e.T1}
+		payload(&l, &e)
+		if err := enc.Encode(l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
