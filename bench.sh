@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench.sh — run the kernel-level microbenchmarks (stencil apply, halo
+# exchange, global reductions, steady-state solves) with allocation
+# reporting, and distill the results into BENCH_kernels.json so allocation
+# or wall-clock regressions in the zero-allocation steady-state machinery
+# are visible as a diff.
+#
+# Usage: ./bench.sh [count]   (count = benchmark repetitions, default 3)
+set -eu
+
+cd "$(dirname "$0")"
+count=${1:-3}
+out=BENCH_kernels.json
+raw=$(mktemp)
+trap 'rm -rf "$raw"' EXIT
+
+echo "== kernel benchmarks (-benchmem, count=$count) =="
+go test -run '^$' \
+    -bench 'BenchmarkStencilApply|BenchmarkHaloExchange|BenchmarkAllReduce64Ranks|BenchmarkReduce$|BenchmarkSolveSteadyState' \
+    -benchmem -benchtime=200ms -count="$count" . | tee "$raw"
+
+python3 - "$raw" "$count" > "$out" <<'EOF'
+import json, re, sys
+
+# Lines look like:
+#   BenchmarkHaloExchange   	    1234	     19876 ns/op	    4528 B/op	      68 allocs/op
+pat = re.compile(
+    r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+[\d.]+ MB/s)?"
+    r"(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?")
+runs = {}
+for line in open(sys.argv[1]):
+    m = pat.match(line)
+    if not m:
+        continue
+    runs.setdefault(m.group(1), []).append({
+        "ns_per_op": float(m.group(3)),
+        "bytes_per_op": float(m.group(4)) if m.group(4) else None,
+        "allocs_per_op": float(m.group(5)) if m.group(5) else None,
+    })
+
+bench = {}
+for name, rs in sorted(runs.items()):
+    ns = sorted(r["ns_per_op"] for r in rs)
+    bench[name] = {
+        "ns_per_op_median": ns[len(ns) // 2],
+        "ns_per_op_min": ns[0],
+        "bytes_per_op": rs[0]["bytes_per_op"],
+        "allocs_per_op": rs[0]["allocs_per_op"],
+        "runs": len(rs),
+    }
+
+json.dump({"benchtime": "200ms", "count": int(sys.argv[2]),
+           "benchmarks": bench}, sys.stdout, indent=2)
+print()
+EOF
+
+echo "bench.sh: wrote $out"

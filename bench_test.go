@@ -16,6 +16,7 @@ package pop
 import (
 	"io"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/comm"
@@ -29,22 +30,36 @@ import (
 	"repro/internal/stencil"
 )
 
+// Bench-size grids are generated once: grid generation (bathymetry, metric
+// terms) is setup, not pipeline, and must not ride inside b.N.
+var benchGrids = struct {
+	once       sync.Once
+	one, tenth *grid.Grid
+}{}
+
 // benchConfig builds an experiment context on bench-size grids (same
-// pipelines, smaller axes).
+// pipelines, smaller axes). A fresh Config per call keeps the experiment
+// sweep caches honest; the pre-generated grids are shared.
 func benchConfig() *experiments.Config {
+	benchGrids.once.Do(func() {
+		one := grid.TestSpec()
+		one.Nx, one.Ny = 64, 48
+		one.Name = "bench-1deg"
+		benchGrids.one = grid.Generate(one)
+		tenth := grid.TestSpec()
+		tenth.Nx, tenth.Ny = 90, 60
+		tenth.Name = "bench-0.1deg"
+		benchGrids.tenth = grid.Generate(tenth)
+	})
 	c := experiments.NewConfig(perfmodel.Yellowstone(), true, nil)
-	one := grid.TestSpec()
-	one.Nx, one.Ny = 64, 48
-	one.Name = "bench-1deg"
-	c.OverrideGrid("1deg", grid.Generate(one))
-	tenth := grid.TestSpec()
-	tenth.Nx, tenth.Ny = 90, 60
-	tenth.Name = "bench-0.1deg"
-	c.OverrideGrid("0.1deg", grid.Generate(tenth))
+	c.OverrideGrid("1deg", benchGrids.one)
+	c.OverrideGrid("0.1deg", benchGrids.tenth)
 	return c
 }
 
 func benchExperiment(b *testing.B, id string) {
+	benchConfig() // generate grids outside the timed loop
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := benchConfig()
 		if err := experiments.Run(id, c, io.Discard); err != nil {
@@ -139,15 +154,22 @@ func BenchmarkHaloExchange(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// Fields persist across exchanges, as in the solver steady state.
+	fields := make([][][]float64, w.NRank)
+	w.Run(func(r *comm.Rank) {
+		fs := make([][]float64, len(r.Blocks))
+		for bi, blk := range r.Blocks {
+			nxp, nyp := d.PaddedDims(blk)
+			fs[bi] = make([]float64, nxp*nyp)
+		}
+		fields[r.ID] = fs
+		r.Exchange(fs) // warm the pooled strip buffers
+	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Run(func(r *comm.Rank) {
-			fields := make([][]float64, len(r.Blocks))
-			for bi, blk := range r.Blocks {
-				nxp, nyp := d.PaddedDims(blk)
-				fields[bi] = make([]float64, nxp*nyp)
-			}
-			r.Exchange(fields)
+			r.Exchange(fields[r.ID])
 		})
 	}
 }
@@ -163,10 +185,40 @@ func BenchmarkAllReduce64Ranks(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		w.Run(func(r *comm.Rank) {
-			r.AllReduce([]float64{1, 2})
+			payload := [2]float64{1, 2}
+			r.AllReduce(payload[:])
+		})
+	}
+}
+
+// BenchmarkReduce measures the steady-state reduction path alone: one Run
+// amortized over many binomial-tree AllReduce calls with a hoisted payload,
+// mirroring how the solver iteration loop performs reductions.
+func BenchmarkReduce(b *testing.B) {
+	g := grid.NewFlatBasin(64, 64, 1000, 1e4, 1e4)
+	d, err := decomp.New(g, 8, 8, decomp.DefaultHalo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.AssignOnePerRank()
+	w, err := comm.NewWorld(d, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const reductionsPerRun = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += reductionsPerRun {
+		w.Run(func(r *comm.Rank) {
+			payload := [3]float64{1, 2, 3}
+			for j := 0; j < reductionsPerRun; j++ {
+				payload[0] = float64(j)
+				r.AllReduce(payload[:])
+			}
 		})
 	}
 }
@@ -193,6 +245,7 @@ func benchSolve(b *testing.B, method, precond string) {
 	if _, _, err := s.Solve(rhs, nil); err != nil { // setup outside timer
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := s.Solve(rhs, nil); err != nil {
@@ -206,6 +259,50 @@ func BenchmarkSolveChronGearEVP(b *testing.B)  { benchSolve(b, "chrongear", "evp
 func BenchmarkSolvePipeCGDiag(b *testing.B)    { benchSolve(b, "pipecg", "diagonal") }
 func BenchmarkSolvePCSIDiag(b *testing.B)      { benchSolve(b, "pcsi", "diagonal") }
 func BenchmarkSolvePCSIEVP(b *testing.B)       { benchSolve(b, "pcsi", "evp") }
+
+// benchSolveSteadyState measures the steady-state iteration cost in
+// isolation: a warm session runs fixed-length solves (tolerance far below
+// machine precision, so exactly MaxIters iterations execute every time) and
+// the per-op numbers divide down to per-iteration cost. With the workspace
+// arenas and pooled comm buffers, allocs/op stays flat as MaxIters grows.
+func benchSolveSteadyState(b *testing.B, method, precond string) {
+	g, _ := benchGridOp(b)
+	rhs := make([]float64, g.N())
+	for k, ocean := range g.Mask {
+		if ocean {
+			rhs[k] = math.Sin(float64(k) / 11)
+		}
+	}
+	s, err := NewSolver(g, SolverSpec{Method: method, Precond: precond, Cores: 12,
+		Options: SolverOptions{Tol: 1e-300, MaxIters: 60, CheckEvery: 10}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0 := make([]float64, g.N())
+	if _, _, err := s.Solve(rhs, x0); err != nil { // warm arenas outside timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Solve(rhs, x0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSteadyStateChronGearDiag(b *testing.B) {
+	benchSolveSteadyState(b, "chrongear", "diagonal")
+}
+func BenchmarkSolveSteadyStateChronGearEVP(b *testing.B) {
+	benchSolveSteadyState(b, "chrongear", "evp")
+}
+func BenchmarkSolveSteadyStatePCSIDiag(b *testing.B) {
+	benchSolveSteadyState(b, "pcsi", "diagonal")
+}
+func BenchmarkSolveSteadyStatePCSIEVP(b *testing.B) {
+	benchSolveSteadyState(b, "pcsi", "evp")
+}
 
 func BenchmarkModelStep(b *testing.B) {
 	g, err := NewGrid(GridTest)

@@ -53,6 +53,9 @@ type Workload struct {
 	// perRank[rank][level][blockIndex] is the padded array of one executed
 	// level on one block.
 	perRank [][][][]float64
+	// multis[rank] is the NZ-level wrapper passed to ExchangeMulti, built
+	// once alongside the rank's fields so stepping allocates nothing.
+	multis [][][][]float64
 }
 
 // New builds a workload over an assigned decomposition and its world.
@@ -68,6 +71,7 @@ func New(d *decomp.Decomposition, w *comm.World, nz int) (*Workload, error) {
 		LevelFlops: DefaultLevelFlops,
 		Exchanges:  DefaultExchanges,
 		perRank:    make([][][][]float64, d.NRanks),
+		multis:     make([][][][]float64, d.NRanks),
 	}, nil
 }
 
@@ -89,8 +93,16 @@ func (b *Workload) ensure(r *comm.Rank) [][][]float64 {
 			flat[l*len(r.Blocks)+i] = f
 		}
 	}
-	b.perRank[r.ID] = chunk(flat, len(r.Blocks))
-	return b.perRank[r.ID]
+	levels := chunk(flat, len(r.Blocks))
+	b.perRank[r.ID] = levels
+	// Aggregated 3-D wrapper: NZ levels cycling over the executed arrays —
+	// bytes on the wire are what matters for the cost model.
+	multi := make([][][]float64, b.NZ)
+	for l := range multi {
+		multi[l] = levels[l%execLevels]
+	}
+	b.multis[r.ID] = multi
+	return levels
 }
 
 func chunk(flat [][]float64, per int) [][][]float64 {
@@ -126,13 +138,8 @@ func (b *Workload) StepRank(r *comm.Rank) {
 	// Charge the full-physics cost for all NZ levels.
 	r.AddFlops(interior * int64(b.NZ) * b.LevelFlops)
 
-	// Aggregated 3-D halo updates: each carries NZ levels of strips. The
-	// executed arrays are cycled to stand in for the unstored levels —
-	// bytes on the wire are what matters for the cost model.
-	multi := make([][][]float64, b.NZ)
-	for l := range multi {
-		multi[l] = levels[l%execLevels]
-	}
+	// Aggregated 3-D halo updates: each carries NZ levels of strips.
+	multi := b.multis[r.ID]
 	for e := 0; e < b.Exchanges; e++ {
 		r.ExchangeMulti(multi)
 	}

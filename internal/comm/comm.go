@@ -99,7 +99,32 @@ type World struct {
 
 	reduceCh []chan []float64 // per-rank outbox for the reduction up-phase
 	bcastCh  []chan []float64 // per-rank inbox for the broadcast down-phase
-	haloCh   map[haloKey]chan haloMsg
+
+	// Steady-state workspaces, sized once from the decomposition so the
+	// per-iteration communication paths allocate nothing (see halo.go and
+	// reduce.go for the ownership protocols):
+	//
+	//   plans[rank][phase] is the rank's precomputed halo-exchange plan for
+	//   the E/W (0) and N/S (1) phases — send, local-copy, and receive edge
+	//   lists with their channels and buffer pools, replacing the per-call
+	//   neighbour search and per-message allocations.
+	//
+	//   blockPos[blockID] is the block's index within its owning rank's
+	//   Blocks slice (−1 for unowned), replacing the linear blockIndex scan.
+	//
+	//   reducePart[rank] is the rank's reduction accumulator, reused across
+	//   AllReduce calls. reduceRoot is the root's pair of broadcast buffers,
+	//   alternated by call parity so the slice every rank returned from
+	//   reduction k stays untouched through reduction k+1 (see AllReduce).
+	//   reduceParent/reduceKids[rank] are the rank's neighbours in the fixed
+	//   binomial reduction tree (parent −1 at the root; children in
+	//   low-step-first fold order), computed once instead of per call.
+	plans        [][2]phasePlan
+	blockPos     []int
+	reducePart   [][]float64
+	reduceRoot   [2][]float64
+	reduceParent []int
+	reduceKids   [][]int
 }
 
 type haloKey struct {
@@ -110,6 +135,23 @@ type haloKey struct {
 type haloMsg struct {
 	data  []float64
 	clock float64
+}
+
+// grow returns (*buf)[:n], reallocating only when the capacity is short —
+// the steady-state path hits the reuse branch and allocates nothing.
+// Allocations are padded to at least one cache line (8 float64s): these
+// buffers persist per rank and are hammered concurrently, and two sub-line
+// buffers of different ranks sharing a line would ping-pong it between
+// cores on every reduction.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		c := n
+		if c < 8 {
+			c = 8
+		}
+		*buf = make([]float64, c)
+	}
+	return (*buf)[:n]
 }
 
 // Sides of a block, from the receiver's point of view.
@@ -132,23 +174,35 @@ func NewWorld(d *decomp.Decomposition, cost CostModel) (*World, error) {
 	w := &World{D: d, Cost: cost, NRank: d.NRanks}
 	w.reduceCh = make([]chan []float64, w.NRank)
 	w.bcastCh = make([]chan []float64, w.NRank)
+	w.reducePart = make([][]float64, w.NRank)
+	w.reduceParent = make([]int, w.NRank)
+	w.reduceKids = make([][]int, w.NRank)
+	for id := 0; id < w.NRank; id++ {
+		w.reduceParent[id] = -1
+		for s := 1; s < w.NRank; s <<= 1 {
+			if id&s != 0 {
+				w.reduceParent[id] = id - s
+				break
+			}
+			if id+s < w.NRank {
+				w.reduceKids[id] = append(w.reduceKids[id], id+s)
+			}
+		}
+	}
 	for r := range w.reduceCh {
 		w.reduceCh[r] = make(chan []float64, 1)
 		w.bcastCh[r] = make(chan []float64, 1)
 	}
-	// One buffered channel per (receiving block, side) that has a live
-	// neighbor on a different rank.
-	w.haloCh = make(map[haloKey]chan haloMsg)
-	for _, id := range d.OceanBlocks {
-		b := &d.Blocks[id]
-		for side, off := range sideOffsets {
-			nb := d.NeighborID(b, off[0], off[1])
-			if nb < 0 || d.Blocks[nb].Rank == b.Rank {
-				continue
-			}
-			w.haloCh[haloKey{id, side}] = make(chan haloMsg, 1)
+	w.blockPos = make([]int, len(d.Blocks))
+	for i := range w.blockPos {
+		w.blockPos[i] = -1
+	}
+	for _, ids := range d.ByRank {
+		for pos, id := range ids {
+			w.blockPos[id] = pos
 		}
 	}
+	w.buildPlans()
 	return w, nil
 }
 
@@ -171,6 +225,10 @@ type Rank struct {
 	reduceSeq int64
 	flopSeq   int64
 	trace     *obs.RankTrace // nil when the World has no tracer
+
+	// multi is Exchange's scratch for wrapping a single field set as a
+	// one-level ExchangeMulti call without allocating the wrapper slice.
+	multi [1][][]float64
 }
 
 // Counters returns a snapshot of the rank's accumulated counters.

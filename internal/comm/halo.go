@@ -7,12 +7,143 @@ import "repro/internal/obs"
 // freshly received columns — so corner values from diagonal neighbour blocks
 // arrive in two hops and each block sends/receives only four messages per
 // update, the 4α term in the paper's boundary-cost model (§2.2).
+//
+// Steady-state memory discipline: everything the exchange needs per call is
+// precomputed at World construction. Each rank owns two phasePlans (E/W and
+// N/S) listing its send, local-copy, and receive edges in a fixed order, and
+// every cross-rank edge carries a two-buffer pool that cycles
+// sender→receiver→sender over channels:
+//
+//	sender:   buf := <-edge.free; fill buf; edge.ch <- haloMsg{buf, clock}
+//	receiver: m := <-edge.ch; copy halos out of m.data; edge.free <- m.data
+//
+// The pool channel provides the happens-before edge that makes buffer reuse
+// race-free: a sender writes a buffer only after the receiver's return-send,
+// which the receiver performs only after it finished reading. Two buffers
+// per edge keep the data send non-blocking (a sender can be at most one
+// phase ahead of its neighbour — it cannot enter phase k+1 until the
+// neighbour finished phase k−1, at which point the phase-k−1 buffer is back
+// in the pool). Buffers are sized for single-level exchanges and grow once
+// (amortized) on the first wider multi-level call; after that the exchange
+// path performs zero allocations.
+
+// sendEdge is one outgoing cross-rank message per phase: data leaves from
+// the given side of local block bi.
+type sendEdge struct {
+	bi       int // index into Rank.Blocks of the sending block
+	side     int // side of the sending block the strip is extracted from
+	stripLen int // strip length of one level
+	ch       chan haloMsg
+	free     chan []float64
+}
+
+// recvEdge is one incoming cross-rank message per phase: data fills the
+// halo on the given side of local block bi.
+type recvEdge struct {
+	bi   int
+	side int
+	ch   chan haloMsg
+	free chan []float64
+}
+
+// localEdge is a same-rank neighbour pair: the halo on side `side` of block
+// dstBI is filled by a direct copy from the interior of block srcBI.
+type localEdge struct {
+	dstBI, srcBI int
+	side         int
+}
+
+// phasePlan is one rank's complete edge list for one exchange phase, in the
+// deterministic (block, side) iteration order the original per-call
+// neighbour search produced — preserving it keeps the virtual-clock
+// arithmetic (max-of-arrivals, ordered cost sums) bitwise identical.
+type phasePlan struct {
+	sends  []sendEdge
+	locals []localEdge
+	recvs  []recvEdge
+}
+
+// phaseSides lists the two receiving sides of each exchange phase.
+var phaseSides = [2][2]int{
+	{SideE, SideW},
+	{SideN, SideS},
+}
+
+// buildPlans precomputes every rank's per-phase edge lists, the cross-rank
+// channels, and the per-edge buffer pools.
+func (w *World) buildPlans() {
+	d := w.D
+	h := d.Halo
+	chans := make(map[haloKey]chan haloMsg)
+	pools := make(map[haloKey]chan []float64)
+	// One data channel and one two-buffer pool per (receiving block, side)
+	// with a live cross-rank neighbour. The strip is extracted from the
+	// sender, but E/W neighbours share NyI and N/S neighbours share NxI, so
+	// the receiver's dimensions size the buffers equally well.
+	for _, id := range d.OceanBlocks {
+		b := &d.Blocks[id]
+		for side, off := range sideOffsets {
+			nb := d.NeighborID(b, off[0], off[1])
+			if nb < 0 || d.Blocks[nb].Rank == b.Rank {
+				continue
+			}
+			key := haloKey{id, side}
+			chans[key] = make(chan haloMsg, 1)
+			pool := make(chan []float64, 2)
+			stripLen := h * b.NyI
+			if side == SideN || side == SideS {
+				stripLen = h * (b.NxI + 2*h)
+			}
+			pool <- make([]float64, stripLen)
+			pool <- make([]float64, stripLen)
+			pools[key] = pool
+		}
+	}
+	w.plans = make([][2]phasePlan, w.NRank)
+	for rid := 0; rid < w.NRank; rid++ {
+		for phase := 0; phase < 2; phase++ {
+			plan := &w.plans[rid][phase]
+			for i, id := range d.ByRank[rid] {
+				b := &d.Blocks[id]
+				for _, side := range phaseSides[phase] {
+					off := sideOffsets[side]
+					nb := d.NeighborID(b, off[0], off[1])
+					if nb < 0 {
+						continue // domain edge or land: halo keeps zeros
+					}
+					if d.Blocks[nb].Rank == rid {
+						plan.locals = append(plan.locals, localEdge{
+							dstBI: i, srcBI: w.blockPos[nb], side: side})
+						continue
+					}
+					// Outgoing: my strip on `side` lands in the halo on the
+					// opposite side of the neighbour.
+					skey := haloKey{nb, opposite(side)}
+					stripLen := h * b.NyI
+					if side == SideN || side == SideS {
+						stripLen = h * (b.NxI + 2*h)
+					}
+					plan.sends = append(plan.sends, sendEdge{
+						bi: i, side: side, stripLen: stripLen,
+						ch: chans[skey], free: pools[skey]})
+					// Incoming: my halo on `side` is filled by that same
+					// neighbour's strip.
+					rkey := haloKey{id, side}
+					plan.recvs = append(plan.recvs, recvEdge{
+						bi: i, side: side, ch: chans[rkey], free: pools[rkey]})
+				}
+			}
+		}
+	}
+}
 
 // Exchange refreshes the halos of one distributed field. fields[i] is the
 // padded local array for r.Blocks[i]. Collective: every rank must call
 // Exchange in the same program order.
 func (r *Rank) Exchange(fields [][]float64) {
-	r.ExchangeMulti([][][]float64{fields})
+	r.multi[0] = fields
+	r.ExchangeMulti(r.multi[:])
+	r.multi[0] = nil
 }
 
 // ExchangeMulti refreshes the halos of several fields (e.g. the levels of a
@@ -26,84 +157,67 @@ func (r *Rank) ExchangeMulti(levels [][][]float64) {
 			panic("comm: Exchange fields/blocks length mismatch")
 		}
 	}
-	r.exchangePhase(levels, SideE, SideW)
-	r.exchangePhase(levels, SideN, SideS)
+	r.exchangePhase(levels, 0)
+	r.exchangePhase(levels, 1)
 }
 
-// exchangePhase handles one direction pair: sideA/sideB are the receiving
-// sides (e.g. SideE means "my east halo", filled by my east neighbour).
-func (r *Rank) exchangePhase(levels [][][]float64, sideA, sideB int) {
+// exchangePhase executes one precomputed phase plan: sends first
+// (non-blocking: the data channels hold one message and each edge carries
+// exactly one per phase), then same-rank direct copies (free in the cost
+// model: intra-node), then receives.
+func (r *Rank) exchangePhase(levels [][][]float64, phase int) {
 	w := r.World
-	d := w.D
+	h := w.D.Halo
+	plan := &w.plans[r.ID][phase]
 	entry := r.clock
+	nlv := len(levels)
 
-	// Send to every cross-rank neighbour first (non-blocking: channels hold
-	// one message and each carries exactly one per phase), then satisfy
-	// same-rank neighbours with direct copies, then drain receives.
-	for i, b := range r.Blocks {
-		for _, side := range [2]int{sideA, sideB} {
-			off := sideOffsets[side]
-			nb := d.NeighborID(b, off[0], off[1])
-			if nb < 0 {
-				continue // domain edge or land block: halo keeps zeros
-			}
-			nbBlock := &d.Blocks[nb]
-			// My block is on the opposite side of the neighbour.
-			nbSide := opposite(side)
-			if nbBlock.Rank == r.ID {
-				continue // handled by the local-copy pass below
-			}
-			// One aggregated message: all levels' strips concatenated.
-			var data []float64
-			for _, fields := range levels {
-				data = append(data, extractStrip(fields[i], b.NxI, b.NyI, d.Halo, side)...)
-			}
-			w.haloCh[haloKey{nb, nbSide}] <- haloMsg{data: data, clock: r.clock}
+	for ei := range plan.sends {
+		e := &plan.sends[ei]
+		buf := <-e.free
+		need := nlv * e.stripLen
+		if cap(buf) < need {
+			buf = make([]float64, need)
+		}
+		buf = buf[:need]
+		b := r.Blocks[e.bi]
+		for li, fields := range levels {
+			extractStripInto(buf[li*e.stripLen:(li+1)*e.stripLen],
+				fields[e.bi], b.NxI, b.NyI, h, e.side)
+		}
+		e.ch <- haloMsg{data: buf, clock: r.clock}
+	}
+
+	for _, le := range plan.locals {
+		dst := r.Blocks[le.dstBI]
+		src := r.Blocks[le.srcBI]
+		for _, fields := range levels {
+			copyStrip(fields[le.dstBI], dst.NxI, dst.NyI,
+				fields[le.srcBI], src.NxI, src.NyI, h, le.side)
 		}
 	}
 
-	// Same-rank neighbour copies (free in the cost model: intra-node).
-	for i, b := range r.Blocks {
-		for _, side := range [2]int{sideA, sideB} {
-			off := sideOffsets[side]
-			nb := d.NeighborID(b, off[0], off[1])
-			if nb < 0 || d.Blocks[nb].Rank != r.ID {
-				continue
-			}
-			j := r.blockIndex(nb)
-			nbBlock := r.Blocks[j]
-			for _, fields := range levels {
-				strip := extractStrip(fields[j], nbBlock.NxI, nbBlock.NyI, d.Halo, opposite(side))
-				insertStrip(fields[i], b.NxI, b.NyI, d.Halo, side, strip)
-			}
-		}
-	}
-
-	// Receives: fill halos, tracking sender clocks and message costs.
 	arrival := r.clock
 	var charge float64
 	var phaseBytes int64
-	for i, b := range r.Blocks {
-		for _, side := range [2]int{sideA, sideB} {
-			off := sideOffsets[side]
-			nb := d.NeighborID(b, off[0], off[1])
-			if nb < 0 || d.Blocks[nb].Rank == r.ID {
-				continue
-			}
-			m := <-w.haloCh[haloKey{b.ID, side}]
-			stripLen := len(m.data) / len(levels)
-			for li, fields := range levels {
-				insertStrip(fields[i], b.NxI, b.NyI, d.Halo, side, m.data[li*stripLen:(li+1)*stripLen])
-			}
-			if m.clock > arrival {
-				arrival = m.clock
-			}
-			bytes := int64(len(m.data) * 8)
-			r.ctr.HaloMsgs++
-			r.ctr.HaloBytes += bytes
-			phaseBytes += bytes
-			charge += w.Cost.P2PTime(bytes)
+	for ei := range plan.recvs {
+		e := &plan.recvs[ei]
+		m := <-e.ch
+		stripLen := len(m.data) / nlv
+		b := r.Blocks[e.bi]
+		for li, fields := range levels {
+			insertStrip(fields[e.bi], b.NxI, b.NyI, h, e.side,
+				m.data[li*stripLen:(li+1)*stripLen])
 		}
+		e.free <- m.data
+		if m.clock > arrival {
+			arrival = m.clock
+		}
+		bytes := int64(len(m.data) * 8)
+		r.ctr.HaloMsgs++
+		r.ctr.HaloBytes += bytes
+		phaseBytes += bytes
+		charge += w.Cost.P2PTime(bytes)
 	}
 	r.clock = arrival + charge
 	r.ctr.THalo += r.clock - entry
@@ -127,42 +241,30 @@ func opposite(side int) int {
 	}
 }
 
-// extractStrip copies the interior edge strip that a neighbour on the given
-// side needs. E/W strips cover interior rows only; N/S strips span the full
-// padded width so corners propagate (two-phase scheme).
-//
-// "side" here is the side of THIS block facing the neighbour: to fill a
-// neighbour's west halo we extract from our... — callers pass the side of
-// the *receiving* halo on the neighbour via opposite(), so this function is
-// given the side of this block from which data leaves.
-func extractStrip(f []float64, nxi, nyi, h, side int) []float64 {
+// extractStripInto copies into s the interior edge strip that a neighbour on
+// the given side needs. E/W strips cover interior rows only; N/S strips span
+// the full padded width so corners propagate (two-phase scheme). "side" is
+// the side of THIS block from which data leaves.
+func extractStripInto(s, f []float64, nxi, nyi, h, side int) {
 	nxp := nxi + 2*h
 	switch side {
 	case SideW: // my west interior columns [h, 2h) → neighbour's east halo
-		s := make([]float64, h*nyi)
 		for j := 0; j < nyi; j++ {
 			copy(s[j*h:(j+1)*h], f[(j+h)*nxp+h:(j+h)*nxp+2*h])
 		}
-		return s
 	case SideE: // my east interior columns [nxp-2h, nxp-h)
-		s := make([]float64, h*nyi)
 		for j := 0; j < nyi; j++ {
 			copy(s[j*h:(j+1)*h], f[(j+h)*nxp+nxp-2*h:(j+h)*nxp+nxp-h])
 		}
-		return s
 	case SideS: // my south interior rows [h, 2h), full padded width
-		s := make([]float64, h*nxp)
 		for j := 0; j < h; j++ {
 			copy(s[j*nxp:(j+1)*nxp], f[(j+h)*nxp:(j+h+1)*nxp])
 		}
-		return s
 	default: // SideN: my north interior rows [nyp-2h, nyp-h)
 		nyp := nyi + 2*h
-		s := make([]float64, h*nxp)
 		for j := 0; j < h; j++ {
 			copy(s[j*nxp:(j+1)*nxp], f[(nyp-2*h+j)*nxp:(nyp-2*h+j+1)*nxp])
 		}
-		return s
 	}
 }
 
@@ -191,12 +293,45 @@ func insertStrip(f []float64, nxi, nyi, h, side int, s []float64) {
 	}
 }
 
-// blockIndex returns the position of blockID within r.Blocks.
-func (r *Rank) blockIndex(blockID int) int {
-	for i, b := range r.Blocks {
-		if b.ID == blockID {
-			return i
+// copyStrip fills the halo on side `side` of a block directly from a
+// same-rank neighbour's interior — the local-copy pass, fused so no
+// intermediate strip is materialized. The source data comes from the
+// opposite(side) edge of the neighbour, exactly as extractStripInto followed
+// by insertStrip would move it.
+func copyStrip(dst []float64, dnxi, dnyi int, src []float64, snxi, snyi, h, side int) {
+	dnxp := dnxi + 2*h
+	snxp := snxi + 2*h
+	switch side {
+	case SideE: // dst east halo ← src west interior columns
+		for j := 0; j < dnyi; j++ {
+			copy(dst[(j+h)*dnxp+dnxp-h:(j+h)*dnxp+dnxp],
+				src[(j+h)*snxp+h:(j+h)*snxp+2*h])
 		}
+	case SideW: // dst west halo ← src east interior columns
+		for j := 0; j < dnyi; j++ {
+			copy(dst[(j+h)*dnxp:(j+h)*dnxp+h],
+				src[(j+h)*snxp+snxp-2*h:(j+h)*snxp+snxp-h])
+		}
+	case SideN: // dst north halo ← src south interior rows
+		dnyp := dnyi + 2*h
+		for j := 0; j < h; j++ {
+			copy(dst[(dnyp-h+j)*dnxp:(dnyp-h+j+1)*dnxp],
+				src[(j+h)*snxp:(j+h+1)*snxp])
+		}
+	default: // SideS: dst south halo ← src north interior rows
+		snyp := snyi + 2*h
+		for j := 0; j < h; j++ {
+			copy(dst[j*dnxp:(j+1)*dnxp],
+				src[(snyp-2*h+j)*snxp:(snyp-2*h+j+1)*snxp])
+		}
+	}
+}
+
+// blockIndex returns the position of blockID within r.Blocks, O(1) via the
+// table precomputed at World construction.
+func (r *Rank) blockIndex(blockID int) int {
+	if pos := r.World.blockPos[blockID]; pos >= 0 && r.Blocks[pos].ID == blockID {
+		return pos
 	}
 	panic("comm: block not owned by rank")
 }

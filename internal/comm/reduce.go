@@ -9,9 +9,16 @@ import "repro/internal/obs"
 // paper's Eq. 2 term.
 
 // AllReduce sums vals element-wise across all ranks and returns the global
-// result (a fresh slice). It also synchronizes virtual clocks: every rank
-// leaves at max(entry clocks) + ReduceTime. Collective: every rank must call
-// it the same number of times with equal-length arguments.
+// result. It also synchronizes virtual clocks: every rank leaves at
+// max(entry clocks) + ReduceTime. Collective: every rank must call it the
+// same number of times with equal-length arguments.
+//
+// The returned slice is a persistent reduction workspace shared read-only
+// by all ranks: it stays valid until the rank's next collective call, then
+// may be overwritten. Callers must not write to it, and callers needing the
+// values longer must copy them out — the solvers all consume the result
+// immediately, which is what lets the steady-state reduction path allocate
+// nothing.
 //
 // Alongside the maximum entry clock the reduction carries the ID of the
 // rank that owned it — the straggler whose late arrival every other rank
@@ -19,6 +26,21 @@ import "repro/internal/obs"
 // that attribution and its own wait (max entry − own entry), which is what
 // lets a trace answer "which rank was the critical path of that reduction?"
 // (ties break toward the lowest rank, deterministically).
+//
+// Buffer-reuse safety: each rank accumulates into its own reducePart buffer
+// and publishes it to its parent exactly once per reduction; the parent
+// finishes reading it before it sends the broadcast that unblocks the
+// child, so the child's next-reduction overwrite is ordered after the read.
+// The down phase forwards the ROOT's buffer pointer unchanged — a pure
+// read-only fan-out, so the broadcast costs no copies and no dependent
+// cache-line hand-offs down the tree. The root alternates between two
+// result buffers by call parity: the buffer of reduction k is rewritten at
+// reduction k+2, and the root can only reach k+2 after its up-phase for
+// k+1 completes, which transitively requires every rank to have entered
+// reduction k+1 — i.e. to have passed the collective call that ends the
+// returned slice's documented lifetime. Every hand-off in that chain is a
+// channel operation, so the ordering is a happens-before edge, not just a
+// timing argument.
 func (r *Rank) AllReduce(vals []float64) []float64 {
 	w := r.World
 	p := w.NRank
@@ -31,45 +53,43 @@ func (r *Rank) AllReduce(vals []float64) []float64 {
 	// [n+1] the rank owning it. Both reduce with max-by-clock, so the
 	// payload sum below is untouched.
 	n := len(vals)
-	partial := make([]float64, n+2)
+	partial := grow(&w.reducePart[r.ID], n+2)
 	copy(partial, vals)
 	partial[n] = r.clock
 	partial[n+1] = float64(r.ID)
 
 	var result []float64
 	if p == 1 {
-		result = partial
+		result = grow(&w.reduceRoot[seq&1], n+2)
+		copy(result, partial)
 	} else {
-		// Up phase: fold children into this rank, low step first.
-		parent := -1
-		var children []int
-		for s := 1; s < p; s <<= 1 {
-			if r.ID&s != 0 {
-				parent = r.ID - s
-				break
+		// Up phase: fold children into this rank in the precomputed
+		// low-step-first order (the tree is a property of the World, not
+		// of the call — see NewWorld).
+		kids := w.reduceKids[r.ID]
+		for _, child := range kids {
+			m := <-w.reduceCh[child]
+			for i := 0; i < n; i++ {
+				partial[i] += m[i]
 			}
-			if r.ID+s < p {
-				child := r.ID + s
-				children = append(children, child)
-				m := <-w.reduceCh[child]
-				for i := 0; i < n; i++ {
-					partial[i] += m[i]
-				}
-				if m[n] > partial[n] || (m[n] == partial[n] && m[n+1] < partial[n+1]) {
-					partial[n] = m[n]
-					partial[n+1] = m[n+1]
-				}
+			if m[n] > partial[n] || (m[n] == partial[n] && m[n+1] < partial[n+1]) {
+				partial[n] = m[n]
+				partial[n+1] = m[n+1]
 			}
 		}
-		if parent >= 0 {
+		if parent := w.reduceParent[r.ID]; parent >= 0 {
 			w.reduceCh[r.ID] <- partial
 			result = <-w.bcastCh[r.ID]
 		} else {
-			result = partial
+			// Only the root's result escapes to other ranks, so only the
+			// root needs the parity pair (r.ID == 0 here, so r.reduceSeq
+			// is the root's own call count).
+			result = grow(&w.reduceRoot[seq&1], n+2)
+			copy(result, partial)
 		}
-		// Down phase: forward to children, largest subtree first.
-		for i := len(children) - 1; i >= 0; i-- {
-			w.bcastCh[children[i]] <- result
+		// Down phase: forward the root's buffer, largest subtree first.
+		for i := len(kids) - 1; i >= 0; i-- {
+			w.bcastCh[kids[i]] <- result
 		}
 	}
 
@@ -81,10 +101,7 @@ func (r *Rank) AllReduce(vals []float64) []float64 {
 			Value: float64(n), Straggler: int(result[n+1]), Wait: result[n] - entry,
 			Iter: -1})
 	}
-
-	out := make([]float64, n)
-	copy(out, result)
-	return out
+	return result[:n]
 }
 
 // Barrier blocks until every rank reaches it (an empty AllReduce).

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// solveIters runs one fixed-length solve (Tol below machine precision so
+// convergence never truncates it) and is the unit AllocsPerRun measures.
+// Differencing a 1-iteration solve against a many-iteration solve isolates
+// the steady-state iteration body — halo exchange, matvec, preconditioner,
+// reduction, convergence check — from per-solve costs (Run's goroutines and
+// Rank structs, scatters, the Result/trace records).
+func allocsPerIteration(t *testing.T, f *fixture, solver string, precond PrecondType, short, long int) float64 {
+	t.Helper()
+	mk := func(iters int) *Session {
+		s, err := NewSession(f.g, f.op, f.d, f.w, Options{
+			Precond: precond, Tol: 1e-300, MaxIters: iters, CheckEvery: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sShort, sLong := mk(short), mk(long)
+	solve := allSolvers[solver]
+	x0 := make([]float64, f.g.N())
+	run := func(s *Session) func() {
+		return func() {
+			if _, _, err := solve(s, f.b, x0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm every lazily grown workspace (session fields, pooled comm
+	// buffers, eigenvalue estimate for P-CSI) before measuring.
+	run(sShort)()
+	run(sLong)()
+
+	a := testing.AllocsPerRun(3, run(sShort))
+	b := testing.AllocsPerRun(3, run(sLong))
+	return (b - a) / float64(long-short)
+}
+
+// TestSteadyStateSolverAllocFree asserts the acceptance criterion of the
+// zero-allocation refactor: once a session is warm, a solver iteration
+// allocates nothing, for both the production ChronGear solver and P-CSI on
+// a multi-rank virtual run.
+func TestSteadyStateSolverAllocFree(t *testing.T) {
+	f := testFixture(t)
+	if f.d.NRanks < 2 {
+		t.Fatalf("fixture is not multi-rank (%d ranks)", f.d.NRanks)
+	}
+	for _, tc := range []struct {
+		solver  string
+		precond PrecondType
+	}{
+		{"chrongear", PrecondDiagonal},
+		{"chrongear", PrecondEVP},
+		{"pcsi", PrecondDiagonal},
+		{"pcsi", PrecondEVP},
+	} {
+		t.Run(fmt.Sprintf("%s-%v", tc.solver, tc.precond), func(t *testing.T) {
+			per := allocsPerIteration(t, f, tc.solver, tc.precond, 1, 51)
+			if per > 0 {
+				t.Fatalf("%.3f allocations per steady-state iteration, want 0", per)
+			}
+		})
+	}
+}
+
+// residualHistory runs one PCSI solve and returns the exact residual
+// sequence (bit patterns, not rounded prints).
+func residualHistory(t *testing.T, s *Session, b []float64) []uint64 {
+	t.Helper()
+	res, _, err := s.SolvePCSI(b, make([]float64, len(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]uint64, 0, len(res.Trace.Residuals))
+	for _, rp := range res.Trace.Residuals {
+		hist = append(hist, math.Float64bits(rp.RelResidual))
+	}
+	if len(hist) == 0 {
+		t.Fatal("solve recorded no residual checks")
+	}
+	return hist
+}
+
+// TestPCSIResidualHistoryBitwiseDeterministic asserts residual histories
+// are bitwise reproducible both across sessions (fresh workspaces) and
+// within one session (reused arenas and pooled buffers): the
+// zero-allocation machinery must not perturb a single bit of the numerics.
+func TestPCSIResidualHistoryBitwiseDeterministic(t *testing.T) {
+	f := testFixture(t)
+	opts := Options{Precond: PrecondEVP, Tol: 1e-300, MaxIters: 60, CheckEvery: 10}
+
+	s1 := f.session(t, opts)
+	h1 := residualHistory(t, s1, f.b)
+	h1again := residualHistory(t, s1, f.b) // same session: warm arenas
+	s2 := f.session(t, opts)
+	h2 := residualHistory(t, s2, f.b) // fresh session: cold arenas
+
+	for name, h := range map[string][]uint64{"same-session repeat": h1again, "fresh session": h2} {
+		if len(h) != len(h1) {
+			t.Fatalf("%s: %d residual checks, want %d", name, len(h), len(h1))
+		}
+		for i := range h {
+			if h[i] != h1[i] {
+				t.Fatalf("%s: residual %d differs: %016x vs %016x (bitwise)", name, i, h[i], h1[i])
+			}
+		}
+	}
+}

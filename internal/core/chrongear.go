@@ -21,9 +21,10 @@ func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
 		return Result{}, nil, err
 	}
 	o := s.Opts
-	out := make([]float64, len(b))
+	out := s.solveOut()
 	res := Result{Solver: "chrongear", Precond: o.Precond}
-	trace := &SolveTrace{}
+	trace := &SolveTrace{
+		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -35,6 +36,10 @@ func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
 		zz := s.field(r, "cg.z")
 		ss := s.zeroField(r, "cg.s")
 		pp := s.zeroField(r, "cg.p")
+		// Reduction payload reused by every collective in this program
+		// (sliced to 2 or 3 entries per call) — hoisted so the steady-state
+		// loop allocates nothing.
+		payload := make([]float64, 3)
 
 		// r₀ = b − B·x₀ (halos valid from scatter) and ‖b‖².
 		var bn2 float64
@@ -44,7 +49,8 @@ func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
 			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
 			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 		}
-		gsum := r.AllReduce([]float64{bn2})
+		payload[0] = bn2
+		gsum := r.AllReduce(payload[:1])
 		bnorm := math.Sqrt(gsum[0])
 		if r.ID == 0 {
 			res.BNorm = bnorm
@@ -85,17 +91,20 @@ func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
 			for i := 0; i < nb; i++ {
 				loc := rs.locs[i]
 				n := int64(loc.InteriorLen())
-				loc.Apply(zz[i], rp[i]) // z = B·r'
+				// z = B·r' fused with δ += ⟨z, r'⟩: one pass over the
+				// operands instead of a matvec followed by a dot.
+				deltaL += loc.ApplyAndMaskedDot(zz[i], rp[i])
 				r.AddFlops(9 * n)
 				rhoL += loc.MaskedDotInterior(rr[i], rp[i])
-				deltaL += loc.MaskedDotInterior(zz[i], rp[i])
 				r.AddFlops(4 * n)
 			}
-			payload := []float64{rhoL, deltaL}
+			payload[0], payload[1] = rhoL, deltaL
+			p := payload[:2]
 			if check {
-				payload = append(payload, rnL)
+				payload[2] = rnL
+				p = payload[:3]
 			}
-			g := r.AllReduce(payload) // the single global reduction
+			g := r.AllReduce(p) // the single global reduction
 			rho, delta := g[0], g[1]
 			if check {
 				rn := math.Sqrt(g[2])

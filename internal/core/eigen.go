@@ -53,6 +53,7 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 		rp := s.field(r, "eig.rp")
 		zz := s.field(r, "eig.z")
 		pp := s.zeroField(r, "eig.p")
+		payload := make([]float64, 1)
 
 		var bn2 float64
 		for i := 0; i < nb; i++ {
@@ -60,7 +61,8 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
 			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 		}
-		if r.AllReduce([]float64{bn2})[0] == 0 {
+		payload[0] = bn2
+		if r.AllReduce(payload)[0] == 0 {
 			if r.ID == 0 {
 				failure = fmt.Errorf("core: cannot estimate eigenvalues from a zero right-hand side")
 			}
@@ -79,7 +81,8 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 				rhoL += rs.locs[i].MaskedDotInterior(rr[i], rp[i])
 				r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 			}
-			rho := r.AllReduce([]float64{rhoL})[0]
+			payload[0] = rhoL
+			rho := r.AllReduce(payload)[0]
 			if rho <= 0 {
 				break // Krylov space exhausted (or M indefinite)
 			}
@@ -99,12 +102,13 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 			r.Exchange(pp)
 			var deltaL float64
 			for i := 0; i < nb; i++ {
-				rs.locs[i].Apply(zz[i], pp[i])
+				// z = B·p fused with δ += ⟨p, z⟩.
+				deltaL += rs.locs[i].ApplyAndMaskedDot(zz[i], pp[i])
 				r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
-				deltaL += rs.locs[i].MaskedDotInterior(pp[i], zz[i])
 				r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 			}
-			delta := r.AllReduce([]float64{deltaL})[0]
+			payload[0] = deltaL
+			delta := r.AllReduce(payload)[0]
 			if delta <= 0 {
 				break
 			}
@@ -158,9 +162,14 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 	return s.Nu, s.Mu, s.EigSteps, nil
 }
 
-// eigenProbe builds a deterministic pseudo-random masked vector whose
-// spectral content covers every ocean mode.
+// eigenProbe builds (once per session, then reuses) a deterministic
+// pseudo-random masked vector whose spectral content covers every ocean
+// mode. The probe depends only on the mask, which is fixed for the life of
+// the session, so the cached copy is exact.
 func (s *Session) eigenProbe() []float64 {
+	if s.probeBuf != nil {
+		return s.probeBuf
+	}
 	probe := make([]float64, s.G.N())
 	for k, ocean := range s.Op.Mask {
 		if ocean {
@@ -171,5 +180,6 @@ func (s *Session) eigenProbe() []float64 {
 			probe[k] = float64(x>>11)/(1<<53) - 0.5
 		}
 	}
+	s.probeBuf = probe
 	return probe
 }

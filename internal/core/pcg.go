@@ -15,9 +15,10 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 		return Result{}, nil, err
 	}
 	o := s.Opts
-	out := make([]float64, len(b))
+	out := s.solveOut()
 	res := Result{Solver: "pcg", Precond: o.Precond}
-	trace := &SolveTrace{}
+	trace := &SolveTrace{
+		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -28,6 +29,9 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 		rp := s.field(r, "pcg.rp")
 		zz := s.field(r, "pcg.z")
 		pp := s.zeroField(r, "pcg.p")
+		// Reduction payload reused by every collective in this program —
+		// hoisted so the steady-state loop allocates nothing.
+		payload := make([]float64, 2)
 
 		var bn2 float64
 		for i := 0; i < nb; i++ {
@@ -36,7 +40,8 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
 			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 		}
-		bnorm := math.Sqrt(r.AllReduce([]float64{bn2})[0])
+		payload[0] = bn2
+		bnorm := math.Sqrt(r.AllReduce(payload[:1])[0])
 		if r.ID == 0 {
 			res.BNorm = bnorm
 		}
@@ -68,7 +73,8 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 				rhoL += loc.MaskedDotInterior(rr[i], rp[i])
 				r.AddFlops(2 * int64(loc.InteriorLen()))
 			}
-			rho := r.AllReduce([]float64{rhoL})[0] // reduction 1 of 2
+			payload[0] = rhoL
+			rho := r.AllReduce(payload[:1])[0] // reduction 1 of 2
 			if k == 1 {
 				for i := 0; i < nb; i++ {
 					copy(pp[i], rp[i])
@@ -85,20 +91,22 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 			var deltaL, rnL float64
 			for i := 0; i < nb; i++ {
 				loc := rs.locs[i]
-				loc.Apply(zz[i], pp[i])
+				// z = B·p fused with δ += ⟨p, z⟩.
+				deltaL += loc.ApplyAndMaskedDot(zz[i], pp[i])
 				r.AddFlops(9 * int64(loc.InteriorLen()))
-				deltaL += loc.MaskedDotInterior(pp[i], zz[i])
 				r.AddFlops(2 * int64(loc.InteriorLen()))
 				if check {
 					rnL += loc.MaskedDotInterior(rr[i], rr[i])
 					r.AddFlops(2 * int64(loc.InteriorLen()))
 				}
 			}
-			payload := []float64{deltaL}
+			payload[0] = deltaL
+			p := payload[:1]
 			if check {
-				payload = append(payload, rnL)
+				payload[1] = rnL
+				p = payload[:2]
 			}
-			g := r.AllReduce(payload) // reduction 2 of 2
+			g := r.AllReduce(p) // reduction 2 of 2
 			alpha := rho / g[0]
 			if check {
 				rn := math.Sqrt(g[1])

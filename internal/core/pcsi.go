@@ -29,9 +29,10 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 		return Result{}, nil, fmt.Errorf("core: invalid Chebyshev interval [%g, %g]", s.Nu, s.Mu)
 	}
 	o := s.Opts
-	out := make([]float64, len(b))
+	out := s.solveOut()
 	res := Result{Solver: "pcsi", Precond: o.Precond, Nu: s.Nu, Mu: s.Mu, EigSteps: s.EigSteps}
-	trace := &SolveTrace{EigBounds: s.EigTrace}
+	trace := &SolveTrace{EigBounds: s.EigTrace,
+		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
 
 	nu, mu := s.Nu, s.Mu
 
@@ -43,6 +44,9 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 		rr := s.field(r, "csi.r")
 		rp := s.field(r, "csi.rp")
 		dx := s.field(r, "csi.dx")
+		// One reduction payload reused by every collective in this program —
+		// hoisted so the steady-state loop allocates nothing.
+		payload := make([]float64, 1)
 
 		var bn2 float64
 		for i := 0; i < nb; i++ {
@@ -51,7 +55,8 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
 			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 		}
-		bnorm := math.Sqrt(r.AllReduce([]float64{bn2})[0])
+		payload[0] = bn2
+		bnorm := math.Sqrt(r.AllReduce(payload)[0])
 		if r.ID == 0 {
 			res.BNorm = bnorm
 		}
@@ -121,7 +126,8 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 					rnL += rs.locs[i].MaskedDotInterior(rr[i], rr[i])
 					r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 				}
-				rn := math.Sqrt(r.AllReduce([]float64{rnL})[0])
+				payload[0] = rnL
+				rn := math.Sqrt(r.AllReduce(payload)[0])
 				if r.ID == 0 {
 					res.RelResidual = rn / bnorm
 				}

@@ -24,9 +24,10 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 		return Result{}, nil, err
 	}
 	o := s.Opts
-	out := make([]float64, len(b))
+	out := s.solveOut()
 	res := Result{Solver: "pipecg", Precond: o.Precond}
-	trace := &SolveTrace{}
+	trace := &SolveTrace{
+		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -42,6 +43,9 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 		qq := s.zeroField(r, "pcg2.q")
 		ss := s.zeroField(r, "pcg2.s")
 		pp := s.zeroField(r, "pcg2.p")
+		// Reduction payload reused by every collective in this program —
+		// hoisted so the steady-state loop allocates nothing.
+		payload := make([]float64, 3)
 
 		var bn2 float64
 		for i := 0; i < nb; i++ {
@@ -50,7 +54,8 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
 			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 		}
-		bnorm := math.Sqrt(r.AllReduce([]float64{bn2})[0])
+		payload[0] = bn2
+		bnorm := math.Sqrt(r.AllReduce(payload[:1])[0])
 		if r.ID == 0 {
 			res.BNorm = bnorm
 		}
@@ -99,12 +104,22 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 				}
 				overlapFlops += rs.pre[i].ApplyFlops() + 9*n
 			}
-			payload := []float64{gL, dL}
+			payload[0], payload[1] = gL, dL
+			p := payload[:2]
 			if check {
-				payload = append(payload, rnL)
+				payload[2] = rnL
+				p = payload[:3]
 			}
-			// The reduction flies while m = M⁻¹w and n = A·m compute.
-			g := r.AllReduceOverlap(payload, overlapFlops)
+			// The reduction flies while m = M⁻¹w and n = A·m compute. The
+			// reduced values are consumed immediately: the result slice is
+			// the rank's pooled buffer, valid only until its next collective
+			// (the Exchange below).
+			g := r.AllReduceOverlap(p, overlapFlops)
+			gamma, delta := g[0], g[1]
+			var rn2 float64
+			if check {
+				rn2 = g[2]
+			}
 			for i := 0; i < nb; i++ {
 				rs.pre[i].Apply(mm[i], ww[i])
 			}
@@ -113,9 +128,8 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 				rs.locs[i].Apply(nn[i], mm[i])
 			}
 
-			gamma, delta := g[0], g[1]
 			if check {
-				rn := math.Sqrt(g[2])
+				rn := math.Sqrt(rn2)
 				if r.ID == 0 {
 					res.RelResidual = rn / bnorm
 				}

@@ -104,6 +104,24 @@ type Session struct {
 	// EigTrace is the per-step bound evolution of the last
 	// EstimateEigenvalues run (copied into P-CSI Result traces).
 	EigTrace []EigBound
+
+	// Workspace arena, sized lazily on first use and reused across solves:
+	// outBuf backs every solver's returned solution vector, probeBuf the
+	// Lanczos probe. A Result's solution slice therefore stays valid only
+	// until the session's next solve — callers keeping it longer (the model
+	// time-stepper copies into its own Eta immediately) must copy.
+	outBuf   []float64
+	probeBuf []float64
+}
+
+// solveOut returns the session-owned global solution buffer, allocating it
+// on first use. Every entry is overwritten by each solve (ocean points by
+// the gather, land points by restoreLand), so no zeroing is needed.
+func (s *Session) solveOut() []float64 {
+	if s.outBuf == nil {
+		s.outBuf = make([]float64, s.G.N())
+	}
+	return s.outBuf
 }
 
 // rankState is the per-rank persistent state; each rank goroutine builds
@@ -212,14 +230,14 @@ func (s *Session) field(r *comm.Rank, name string) [][]float64 {
 func (s *Session) scatterMasked(r *comm.Rank, name string, global []float64) [][]float64 {
 	f := s.field(r, name)
 	for i, b := range r.Blocks {
-		full := s.D.Scatter(global, b)
+		s.D.ScatterInto(f[i], global, b)
 		loc := s.state(r).locs[i]
-		for k := range full {
+		arr := f[i]
+		for k := range arr {
 			if !loc.Mask[k] {
-				full[k] = 0
+				arr[k] = 0
 			}
 		}
-		copy(f[i], full)
 	}
 	return f
 }

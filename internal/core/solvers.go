@@ -7,6 +7,10 @@ import "repro/internal/stencil"
 // point per vector operation, two per masked inner product, nine per
 // stencil application — so the Session's virtual times reproduce the
 // coefficients of Equations 2/3/5/6 by construction.
+//
+// Inner loops run over per-row slice windows of one common length so the
+// compiler's prove pass eliminates the bounds checks (same idiom as
+// stencil.Local.Apply; verify with go build -gcflags=-d=ssa/check_bce).
 
 // residual computes r = b − A·x on the interior (fused; charged as one
 // stencil application). x must have valid ring-1 halos.
@@ -14,14 +18,34 @@ func residual(loc *stencil.Local, r, b, x []float64) {
 	nx := loc.NxP
 	h := loc.H
 	for j := h; j < loc.NyP-h; j++ {
-		base := j * nx
-		for i := h; i < nx-h; i++ {
-			k := base + i
-			r[k] = b[k] - (loc.AC[k]*x[k] +
-				loc.AN[k]*x[k+nx] + loc.AN[k-nx]*x[k-nx] +
-				loc.AE[k]*x[k+1] + loc.AE[k-1]*x[k-1] +
-				loc.ANE[k]*x[k+nx+1] + loc.ANE[k-nx]*x[k-nx+1] +
-				loc.ANE[k-1]*x[k+nx-1] + loc.ANE[k-nx-1]*x[k-nx-1])
+		lo := j*nx + h
+		n := nx - 2*h
+		rr := r[lo:][:n]
+		br := b[lo:][:n]
+		xc := x[lo:][:n]
+		xn := x[lo+nx:][:n]
+		xs := x[lo-nx:][:n]
+		xe := x[lo+1:][:n]
+		xw := x[lo-1:][:n]
+		xne := x[lo+nx+1:][:n]
+		xse := x[lo-nx+1:][:n]
+		xnw := x[lo+nx-1:][:n]
+		xsw := x[lo-nx-1:][:n]
+		ac := loc.AC[lo:][:n]
+		an := loc.AN[lo:][:n]
+		ans := loc.AN[lo-nx:][:n]
+		ae := loc.AE[lo:][:n]
+		aw := loc.AE[lo-1:][:n]
+		ane := loc.ANE[lo:][:n]
+		anes := loc.ANE[lo-nx:][:n]
+		anew := loc.ANE[lo-1:][:n]
+		anesw := loc.ANE[lo-nx-1:][:n]
+		for i := range rr {
+			rr[i] = br[i] - (ac[i]*xc[i] +
+				an[i]*xn[i] + ans[i]*xs[i] +
+				ae[i]*xe[i] + aw[i]*xw[i] +
+				ane[i]*xne[i] + anes[i]*xse[i] +
+				anew[i]*xnw[i] + anesw[i]*xsw[i])
 		}
 	}
 }
@@ -31,10 +55,12 @@ func xpay(loc *stencil.Local, dst, x []float64, a float64) {
 	nx := loc.NxP
 	h := loc.H
 	for j := h; j < loc.NyP-h; j++ {
-		base := j * nx
-		for i := h; i < nx-h; i++ {
-			k := base + i
-			dst[k] = x[k] + a*dst[k]
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dst[lo:][:n]
+		xr := x[lo:][:n]
+		for i := range dr {
+			dr[i] = xr[i] + a*dr[i]
 		}
 	}
 }
@@ -44,9 +70,12 @@ func axpy(loc *stencil.Local, dst, x []float64, a float64) {
 	nx := loc.NxP
 	h := loc.H
 	for j := h; j < loc.NyP-h; j++ {
-		base := j * nx
-		for i := h; i < nx-h; i++ {
-			dst[base+i] += a * x[base+i]
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dst[lo:][:n]
+		xr := x[lo:][:n]
+		for i := range dr {
+			dr[i] += a * xr[i]
 		}
 	}
 }
@@ -57,10 +86,12 @@ func chebUpdate(loc *stencil.Local, dx, rp []float64, omega, c float64) {
 	nx := loc.NxP
 	h := loc.H
 	for j := h; j < loc.NyP-h; j++ {
-		base := j * nx
-		for i := h; i < nx-h; i++ {
-			k := base + i
-			dx[k] = omega*rp[k] + c*dx[k]
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dx[lo:][:n]
+		rr := rp[lo:][:n]
+		for i := range dr {
+			dr[i] = omega*rr[i] + c*dr[i]
 		}
 	}
 }

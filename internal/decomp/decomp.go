@@ -290,28 +290,50 @@ func (d *Decomposition) LocalOperator(op *stencil.Operator, b *Block) *stencil.L
 	return l
 }
 
-// Scatter copies a global field into a padded local array for block b,
-// filling halo entries from the global field where they exist (so no initial
-// halo exchange is needed) and zero outside the domain.
+// Scatter copies a global field into a freshly allocated padded local array
+// for block b, filling halo entries from the global field where they exist
+// (so no initial halo exchange is needed) and zero outside the domain.
 func (d *Decomposition) Scatter(global []float64, b *Block) []float64 {
-	h := d.Halo
 	nxp, nyp := d.PaddedDims(b)
 	loc := make([]float64, nxp*nyp)
+	d.ScatterInto(loc, global, b)
+	return loc
+}
+
+// ScatterInto is Scatter into a caller-owned padded array of size
+// PaddedDims(b), overwriting every entry (out-of-domain positions are
+// zeroed) — the allocation-free form the solvers use to refill session
+// workspaces per solve.
+func (d *Decomposition) ScatterInto(dst, global []float64, b *Block) {
+	h := d.Halo
+	nxp, nyp := d.PaddedDims(b)
 	g := d.G
 	for j := 0; j < nyp; j++ {
+		row := dst[j*nxp : (j+1)*nxp]
 		gj := b.Y0 - h + j
 		if gj < 0 || gj >= g.Ny {
+			for i := range row {
+				row[i] = 0
+			}
 			continue
 		}
-		for i := 0; i < nxp; i++ {
-			gi := b.X0 - h + i
-			if gi < 0 || gi >= g.Nx {
-				continue
-			}
-			loc[j*nxp+i] = global[gj*g.Nx+gi]
+		// In-domain columns are the contiguous run [lo, hi); zero the rest.
+		lo := 0
+		if b.X0-h < 0 {
+			lo = h - b.X0
+		}
+		hi := nxp
+		if b.X0-h+nxp > g.Nx {
+			hi = g.Nx - b.X0 + h
+		}
+		for i := 0; i < lo; i++ {
+			row[i] = 0
+		}
+		copy(row[lo:hi], global[gj*g.Nx+b.X0-h+lo:gj*g.Nx+b.X0-h+hi])
+		for i := hi; i < nxp; i++ {
+			row[i] = 0
 		}
 	}
-	return loc
 }
 
 // GatherInto copies the interior of a padded local array for block b into

@@ -15,6 +15,18 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== zero-allocation steady state (comm + core) =="
+# The allocation-discipline gate: pooled halo buffers, reduction workspaces
+# and solver arenas must keep the steady-state iteration allocation-free and
+# bitwise deterministic. -count=1 defeats the test cache so the gate always
+# executes.
+go test -race -count=1 \
+    -run 'TestExchangeMultiBufferReuse|TestSteadyStateCommAllocFree' \
+    ./internal/comm/
+go test -race -count=1 \
+    -run 'TestSteadyStateSolverAllocFree|TestPCSIResidualHistoryBitwiseDeterministic' \
+    ./internal/core/
+
 echo "== popsolve telemetry smoke run =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
