@@ -56,3 +56,11 @@ print()
 EOF
 
 echo "bench.sh: wrote $out"
+
+echo "== solve service load test =="
+# Closed-loop throughput + overload shedding for the concurrent solve
+# service; fails if the small-grid rate drops below 200 solves/s or the
+# overload phase stops shedding. Writes BENCH_serve.json alongside.
+go run ./cmd/popbench -serve
+
+echo "bench.sh: wrote BENCH_serve.json"

@@ -238,7 +238,15 @@ func benchSolve(b *testing.B, method, precond string) {
 			rhs[k] = 0
 		}
 	}
-	s, err := NewSolver(g, SolverSpec{Method: method, Precond: precond, Cores: 12})
+	m, err := ParseMethod(method)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := ParsePrecond(precond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(g, SolverSpec{Method: m, Precond: pc, Cores: 12})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -273,7 +281,15 @@ func benchSolveSteadyState(b *testing.B, method, precond string) {
 			rhs[k] = math.Sin(float64(k) / 11)
 		}
 	}
-	s, err := NewSolver(g, SolverSpec{Method: method, Precond: precond, Cores: 12,
+	m, err := ParseMethod(method)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := ParsePrecond(precond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(g, SolverSpec{Method: m, Precond: pc, Cores: 12,
 		Options: SolverOptions{Tol: 1e-300, MaxIters: 60, CheckEvery: 10}})
 	if err != nil {
 		b.Fatal(err)
@@ -344,7 +360,7 @@ func BenchmarkAblationEVPBlockSize(b *testing.B) {
 	}
 	for _, size := range []int{4, 8, 12} {
 		b.Run(sizeName(size), func(b *testing.B) {
-			s, err := NewSolver(g, SolverSpec{Method: "pcsi", Precond: "evp", Cores: 12,
+			s, err := NewSolver(g, SolverSpec{Method: MethodPCSI, Precond: PrecondEVP, Cores: 12,
 				MachineName: "ideal", Options: SolverOptions{EVPBlockSize: size}})
 			if err != nil {
 				b.Fatal(err)

@@ -4,6 +4,7 @@
 //
 //	popbench -exp fig8 -machine yellowstone        # one experiment, full scale
 //	popbench -exp all -quick                       # everything, reduced scale
+//	popbench -serve                                # solve-service load test
 //	popbench -list                                 # available experiment ids
 //
 // Full-scale 0.1° sweeps execute millions of real solver iterations across
@@ -36,12 +37,22 @@ func main() {
 		reportDir = flag.String("reportdir", "", "write per-experiment BENCH_<exp>.json run reports here")
 		traceOut  = flag.String("trace", "", "write JSONL span/event trace of all runs to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		serveLoad = flag.Bool("serve", false, "load-test the concurrent solve service, write BENCH_serve.json")
+		serveSec  = flag.Float64("servesec", 3, "closed-loop duration for -serve (seconds)")
+		serveCli  = flag.Int("serveclients", 8, "closed-loop client count for -serve")
 	)
 	flag.Parse()
 	obs.ServePprof(*pprofAddr)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	if *serveLoad {
+		if err := runServeBench(*reportDir, *serveSec, *serveCli, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *exp == "" {

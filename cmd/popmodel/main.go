@@ -34,19 +34,8 @@ func main() {
 	g, err := pop.NewGrid(*gridName)
 	fatalIf(err)
 
-	var pc core.PrecondType
-	switch *precond {
-	case "diagonal":
-		pc = core.PrecondDiagonal
-	case "evp":
-		pc = core.PrecondEVP
-	case "blocklu":
-		pc = core.PrecondBlockLU
-	case "none":
-		pc = core.PrecondIdentity
-	default:
-		fatalIf(fmt.Errorf("unknown preconditioner %q", *precond))
-	}
+	pc, err := core.ParsePrecond(*precond)
+	fatalIf(err)
 
 	m, err := pop.NewModel(pop.ModelConfig{
 		Grid:       g,

@@ -1,0 +1,271 @@
+// Command popserver exposes the concurrent solve service over HTTP.
+//
+//	popserver -addr :8080 -sessions 2 -queue 64
+//
+// Submit solves as JSON; the service pools warmed sessions per
+// (grid, method, precond), batches compatible requests, and sheds load
+// when the queue fills rather than blocking:
+//
+//	curl -s localhost:8080/solve -d '{"grid":"test","method":"pcsi","precond":"evp","rhs":"smooth"}'
+//
+// Endpoints:
+//
+//	POST /solve    JSON solve request (see solveRequest)
+//	GET  /healthz  200 while serving, 503 while draining
+//	GET  /metrics  Prometheus text exposition of the serve_* metrics
+//	GET  /stats    JSON counter snapshot
+//
+// SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503, the
+// listener stops accepting work, queued solves finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		cores     = flag.Int("cores", 0, "virtual ranks per session (0 = one per block)")
+		tau       = flag.Float64("tau", 1920, "barotropic time step (s)")
+		sessions  = flag.Int("sessions", 2, "max warmed sessions per (grid,method,precond) key")
+		queue     = flag.Int("queue", 64, "per-key queue bound before shedding")
+		batch     = flag.Int("batch", 8, "max requests coalesced per session checkout")
+		wait      = flag.Duration("wait", 2*time.Millisecond, "batching window for stragglers")
+		drainWait = flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+	)
+	flag.Parse()
+	obs.ServePprof(*pprofAddr)
+
+	svc := pop.NewService(pop.ServiceOptions{
+		Cores:             *cores,
+		Tau:               *tau,
+		MaxSessionsPerKey: *sessions,
+		MaxQueue:          *queue,
+		MaxBatch:          *batch,
+		MaxWait:           *wait,
+	})
+	h := &handler{svc: svc}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", h.solve)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /stats", h.stats)
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("popserver: %v, draining (budget %s)", s, *drainWait)
+		h.draining.Store(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("popserver: http shutdown: %v", err)
+		}
+		if err := svc.Close(ctx); err != nil {
+			log.Printf("popserver: drain incomplete: %v", err)
+		}
+		close(done)
+	}()
+
+	log.Printf("popserver: listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("popserver: %v", err)
+	}
+	<-done
+}
+
+// solveRequest is the JSON body of POST /solve. Exactly one of B or RHS
+// supplies the right-hand side: B is an explicit vector of grid length,
+// RHS names a synthetic generator ("smooth") for load testing without
+// shipping megabytes of JSON per request.
+type solveRequest struct {
+	Grid      string    `json:"grid"`
+	Method    string    `json:"method"`
+	Precond   string    `json:"precond"`
+	B         []float64 `json:"b,omitempty"`
+	RHS       string    `json:"rhs,omitempty"`
+	X0        []float64 `json:"x0,omitempty"`
+	TimeoutMS int       `json:"timeout_ms,omitempty"`
+	ReturnX   bool      `json:"return_x,omitempty"`
+}
+
+type solveResponse struct {
+	Converged   bool      `json:"converged"`
+	Iterations  int       `json:"iterations"`
+	RelResidual float64   `json:"rel_residual"`
+	Solver      string    `json:"solver"`
+	ElapsedMS   float64   `json:"elapsed_ms"`
+	X           []float64 `json:"x,omitempty"`
+}
+
+type handler struct {
+	svc      *pop.Service
+	draining atomic.Bool
+
+	rhsMu    sync.Mutex
+	rhsCache map[string][]float64
+}
+
+func (h *handler) solve(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	method, err := pop.ParseMethod(req.Method)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	precond, err := pop.ParsePrecond(req.Precond)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	b := req.B
+	if req.RHS != "" {
+		if len(b) > 0 {
+			httpError(w, http.StatusBadRequest, `"b" and "rhs" are mutually exclusive`)
+			return
+		}
+		if b, err = h.syntheticRHS(req.Grid, req.RHS); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	resp, err := h.svc.Solve(ctx, pop.ServeRequest{
+		Grid: req.Grid, Method: method, Precond: precond, B: b, X0: req.X0,
+	})
+	if err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	out := solveResponse{
+		Converged:   resp.Result.Converged,
+		Iterations:  resp.Result.Iterations,
+		RelResidual: resp.Result.RelResidual,
+		Solver:      resp.Result.Solver,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if req.ReturnX {
+		out.X = resp.X
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// statusFor maps the service's typed errors onto HTTP statuses so load
+// balancers and clients can react without parsing messages.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, pop.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, pop.ErrBadSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, pop.ErrServiceClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, pop.ErrNotConverged):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// syntheticRHS builds (and caches) a smooth masked right-hand side for a
+// grid so load generators can exercise /solve with tiny request bodies.
+func (h *handler) syntheticRHS(gridName, kind string) ([]float64, error) {
+	if kind != "smooth" {
+		return nil, fmt.Errorf(`unknown rhs generator %q (want "smooth")`, kind)
+	}
+	if gridName == "" {
+		gridName = pop.GridTest
+	}
+	h.rhsMu.Lock()
+	defer h.rhsMu.Unlock()
+	if b, ok := h.rhsCache[gridName]; ok {
+		return b, nil
+	}
+	g, err := pop.NewGrid(gridName)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]float64, g.N())
+	for k, ocean := range g.Mask {
+		if ocean {
+			b[k] = math.Sin(g.TLon[k]/20) * math.Cos(g.TLat[k]/15)
+		}
+	}
+	if h.rhsCache == nil {
+		h.rhsCache = make(map[string][]float64)
+	}
+	h.rhsCache[gridName] = b
+	return b, nil
+}
+
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	if h.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := h.svc.Registry().WritePrometheus(w); err != nil {
+		log.Printf("popserver: metrics: %v", err)
+	}
+}
+
+func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.Snapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("popserver: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

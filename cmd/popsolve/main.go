@@ -39,13 +39,18 @@ func main() {
 	fatalIf(err)
 	fmt.Printf("grid %s: %d×%d, %.0f%% ocean\n", g.Name, g.Nx, g.Ny, 100*g.OceanFraction())
 
+	m, err := pop.ParseMethod(*method)
+	fatalIf(err)
+	pc, err := pop.ParsePrecond(*precond)
+	fatalIf(err)
 	solver, err := pop.NewSolver(g, pop.SolverSpec{
-		Method: *method, Precond: *precond, Cores: *cores,
+		Method: m, Precond: pc, Cores: *cores,
 		MachineName: *machine, Tau: *tau,
 		Options: pop.SolverOptions{Tol: *tol},
 	})
 	fatalIf(err)
-	fmt.Printf("solver %s+%s on %d virtual cores\n", *method, *precond, solver.Cores)
+	fmt.Printf("solver %s+%s on %d virtual cores\n",
+		solver.Spec.Method, solver.Spec.Precond, solver.Cores)
 
 	var tracer *obs.Tracer
 	if *traceOut != "" {

@@ -38,8 +38,8 @@ func main() {
 
 	// Solve with both solvers on 12 virtual cores, priced as Yellowstone.
 	for _, spec := range []pop.SolverSpec{
-		{Method: "chrongear", Precond: "diagonal", Cores: 12, MachineName: "yellowstone"},
-		{Method: "pcsi", Precond: "evp", Cores: 12, MachineName: "yellowstone"},
+		{Method: pop.MethodChronGear, Precond: pop.PrecondDiagonal, Cores: 12, MachineName: "yellowstone"},
+		{Method: pop.MethodPCSI, Precond: pop.PrecondEVP, Cores: 12, MachineName: "yellowstone"},
 	} {
 		solver, err := pop.NewSolver(g, spec)
 		if err != nil {
@@ -57,7 +57,7 @@ func main() {
 		}
 		perRank := int64(len(res.Stats.PerRank))
 		fmt.Printf("%-20s iters=%-4d err=%.2e reductions/rank=%-4d virtual=%.3gs\n",
-			spec.Method+"+"+spec.Precond, res.Iterations, maxErr,
+			spec.Method.String()+"+"+spec.Precond.String(), res.Iterations, maxErr,
 			res.Stats.Sum.Reductions/perRank, res.Stats.MaxClock)
 	}
 	fmt.Println("note how P-CSI needs more iterations but almost no global reductions —")

@@ -27,8 +27,8 @@ func main() {
 		var day [2]float64
 		var cores int
 		for i, spec := range []pop.SolverSpec{
-			{Method: "chrongear", Precond: "diagonal"},
-			{Method: "pcsi", Precond: "evp"},
+			{Method: pop.MethodChronGear, Precond: pop.PrecondDiagonal},
+			{Method: pop.MethodPCSI, Precond: pop.PrecondEVP},
 		} {
 			spec.Cores = target
 			spec.MachineName = "yellowstone"

@@ -1,13 +1,20 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/comm"
 )
 
-// SolveChronGear runs the Chronopoulos–Gear solver (paper Algorithm 1):
-// POP's production barotropic solver, a PCG variant whose two inner
+// SolveChronGear runs the Chronopoulos–Gear solver with a background
+// context; see SolveChronGearContext.
+func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
+	return s.SolveChronGearContext(context.Background(), b, x0)
+}
+
+// SolveChronGearContext runs the Chronopoulos–Gear solver (paper Algorithm
+// 1): POP's production barotropic solver, a PCG variant whose two inner
 // products share a single global reduction per iteration. The convergence
 // residual rides along that reduction every CheckEvery iterations, so no
 // extra communication is spent on checking.
@@ -16,15 +23,26 @@ import (
 // not modified). Boundary halos are refreshed on the preconditioned
 // residual, which keeps one halo update per iteration for any
 // preconditioner.
-func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
+//
+// Cancellation is observed at convergence-check boundaries only (see the
+// session-level cancellation protocol); a cancelled solve returns the
+// current iterate together with an error matching ctx.Err().
+func (s *Session) SolveChronGearContext(ctx context.Context, b, x0 []float64) (Result, []float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Setup(); err != nil {
 		return Result{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, ctxSolveErr(ctx, "chrongear", 0)
 	}
 	o := s.Opts
 	out := s.solveOut()
 	res := Result{Solver: "chrongear", Precond: o.Precond}
 	trace := &SolveTrace{
 		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
+	cancelled := false // written by rank 0 only, read after Run
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -37,9 +55,10 @@ func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
 		ss := s.zeroField(r, "cg.s")
 		pp := s.zeroField(r, "cg.p")
 		// Reduction payload reused by every collective in this program
-		// (sliced to 2 or 3 entries per call) — hoisted so the steady-state
-		// loop allocates nothing.
-		payload := make([]float64, 3)
+		// (sliced to 2–4 entries per call) — hoisted so the steady-state
+		// loop allocates nothing. Checks append the residual norm and the
+		// cancellation flag.
+		payload := make([]float64, 4)
 
 		// r₀ = b − B·x₀ (halos valid from scatter) and ‖b‖².
 		var bn2 float64
@@ -102,7 +121,8 @@ func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
 			p := payload[:2]
 			if check {
 				payload[2] = rnL
-				p = payload[:3]
+				payload[3] = cancelFlag(ctx)
+				p = payload[:4]
 			}
 			g := r.AllReduce(p) // the single global reduction
 			rho, delta := g[0], g[1]
@@ -114,6 +134,12 @@ func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
 				traceResidual(r, trace, k, rn/bnorm)
 				if rn <= target {
 					converged = true
+					break
+				}
+				if g[3] != 0 { // some rank saw ctx done — all ranks stop here
+					if r.ID == 0 {
+						cancelled = true
+					}
 					break
 				}
 			}
@@ -141,5 +167,8 @@ func (s *Session) SolveChronGear(b, x0 []float64) (Result, []float64, error) {
 	res.Stats = st
 	res.Trace = trace
 	s.restoreLand(out, b)
+	if cancelled {
+		return res, out, ctxSolveErr(ctx, "chrongear", res.Iterations)
+	}
 	return res, out, nil
 }

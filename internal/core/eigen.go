@@ -64,7 +64,7 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 		payload[0] = bn2
 		if r.AllReduce(payload)[0] == 0 {
 			if r.ID == 0 {
-				failure = fmt.Errorf("core: cannot estimate eigenvalues from a zero right-hand side")
+				failure = fmt.Errorf("core: cannot estimate eigenvalues from a zero right-hand side: %w", ErrBadSpec)
 			}
 			return
 		}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Method selects the barotropic solver algorithm. The zero value is
+// ChronGear, POP's production solver, so a zero-initialized configuration
+// matches POP's defaults.
+type Method int
+
+const (
+	// MethodChronGear is the Chronopoulos–Gear solver (Algorithm 1):
+	// POP's production PCG variant with one fused global reduction per
+	// iteration.
+	MethodChronGear Method = iota
+	// MethodPCG is classic preconditioned conjugate gradients, with two
+	// global reductions per iteration.
+	MethodPCG
+	// MethodPipeCG is the Ghysels–Vanroose pipelined CG, overlapping its
+	// single reduction with the preconditioner and matvec.
+	MethodPipeCG
+	// MethodPCSI is the paper's preconditioned Classical Stiefel Iteration
+	// (Algorithm 2): no reductions outside convergence checks.
+	MethodPCSI
+	// MethodCSI is the plain Stiefel iteration of Hu et al. 2013 — P-CSI
+	// run with identity preconditioning. Construction-time code (pop's
+	// NewSolver, the solve service) maps it to MethodPCSI plus
+	// PrecondIdentity; the Session dispatcher treats it as MethodPCSI.
+	MethodCSI
+)
+
+// String returns the name used in CLI flags and experiment tables.
+func (m Method) String() string {
+	switch m {
+	case MethodChronGear:
+		return "chrongear"
+	case MethodPCG:
+		return "pcg"
+	case MethodPipeCG:
+		return "pipecg"
+	case MethodPCSI:
+		return "pcsi"
+	case MethodCSI:
+		return "csi"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Valid reports whether m is one of the defined solver methods.
+func (m Method) Valid() bool {
+	return m >= MethodChronGear && m <= MethodCSI
+}
+
+// ParseMethod maps a method name ("chrongear", "pcg", "pipecg", "pcsi",
+// "csi"; "" selects the ChronGear default) onto its enum value. Unknown
+// names return an error matching errors.Is(err, ErrBadSpec).
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "", "chrongear":
+		return MethodChronGear, nil
+	case "pcg":
+		return MethodPCG, nil
+	case "pipecg":
+		return MethodPipeCG, nil
+	case "pcsi":
+		return MethodPCSI, nil
+	case "csi":
+		return MethodCSI, nil
+	default:
+		return 0, fmt.Errorf("core: unknown method %q: %w", s, ErrBadSpec)
+	}
+}
+
+// ParsePrecond maps a preconditioner name ("diagonal", "evp", "blocklu",
+// "none"; "" selects the diagonal default) onto its enum value. Unknown
+// names return an error matching errors.Is(err, ErrBadSpec).
+func ParsePrecond(s string) (PrecondType, error) {
+	switch s {
+	case "", "diagonal":
+		return PrecondDiagonal, nil
+	case "evp":
+		return PrecondEVP, nil
+	case "blocklu":
+		return PrecondBlockLU, nil
+	case "none":
+		return PrecondIdentity, nil
+	default:
+		return 0, fmt.Errorf("core: unknown preconditioner %q: %w", s, ErrBadSpec)
+	}
+}
+
+// SolveContext runs the selected method on right-hand side b with initial
+// guess x0 (nil = zero), honouring ctx: cancellation is observed at every
+// convergence-check boundary (each CheckEvery iterations), so an
+// interrupted solve never perturbs the numerics between checks — the
+// residual history of a cancelled solve is a bitwise prefix of the
+// uncancelled one. The returned solution slice is the session's reusable
+// output arena, valid until the next solve on this session.
+func (s *Session) SolveContext(ctx context.Context, m Method, b, x0 []float64) (Result, []float64, error) {
+	if len(b) != s.G.N() {
+		return Result{}, nil, fmt.Errorf("core: rhs length %d, want %d: %w", len(b), s.G.N(), ErrBadSpec)
+	}
+	if x0 == nil {
+		x0 = s.zeroX0()
+	} else if len(x0) != s.G.N() {
+		return Result{}, nil, fmt.Errorf("core: x0 length %d, want %d: %w", len(x0), s.G.N(), ErrBadSpec)
+	}
+	switch m {
+	case MethodChronGear:
+		return s.SolveChronGearContext(ctx, b, x0)
+	case MethodPCG:
+		return s.SolvePCGContext(ctx, b, x0)
+	case MethodPipeCG:
+		return s.SolvePipeCGContext(ctx, b, x0)
+	case MethodPCSI, MethodCSI:
+		return s.SolvePCSIContext(ctx, b, x0)
+	default:
+		return Result{}, nil, fmt.Errorf("core: unknown method %v: %w", m, ErrBadSpec)
+	}
+}

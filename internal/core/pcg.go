@@ -1,24 +1,40 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/comm"
 )
 
-// SolvePCG runs the classic preconditioned conjugate gradient method — the
-// textbook formulation POP used before ChronGear, kept as the baseline that
-// shows why merging its *two* global reductions per iteration into one
-// (ChronGear) and then into none (P-CSI) matters at scale.
+// SolvePCG runs the classic preconditioned conjugate gradient method with
+// a background context; see SolvePCGContext.
 func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
+	return s.SolvePCGContext(context.Background(), b, x0)
+}
+
+// SolvePCGContext runs the classic preconditioned conjugate gradient
+// method — the textbook formulation POP used before ChronGear, kept as the
+// baseline that shows why merging its *two* global reductions per
+// iteration into one (ChronGear) and then into none (P-CSI) matters at
+// scale. Cancellation is observed at convergence-check boundaries only
+// (see the session-level cancellation protocol).
+func (s *Session) SolvePCGContext(ctx context.Context, b, x0 []float64) (Result, []float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Setup(); err != nil {
 		return Result{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, ctxSolveErr(ctx, "pcg", 0)
 	}
 	o := s.Opts
 	out := s.solveOut()
 	res := Result{Solver: "pcg", Precond: o.Precond}
 	trace := &SolveTrace{
 		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
+	cancelled := false // written by rank 0 only, read after Run
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -30,8 +46,9 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 		zz := s.field(r, "pcg.z")
 		pp := s.zeroField(r, "pcg.p")
 		// Reduction payload reused by every collective in this program —
-		// hoisted so the steady-state loop allocates nothing.
-		payload := make([]float64, 2)
+		// hoisted so the steady-state loop allocates nothing. Checks append
+		// the residual norm and the cancellation flag.
+		payload := make([]float64, 3)
 
 		var bn2 float64
 		for i := 0; i < nb; i++ {
@@ -104,7 +121,8 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 			p := payload[:1]
 			if check {
 				payload[1] = rnL
-				p = payload[:2]
+				payload[2] = cancelFlag(ctx)
+				p = payload[:3]
 			}
 			g := r.AllReduce(p) // reduction 2 of 2
 			alpha := rho / g[0]
@@ -116,6 +134,12 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 				traceResidual(r, trace, k, rn/bnorm)
 				if rn <= target {
 					converged = true
+					break
+				}
+				if g[2] != 0 { // some rank saw ctx done — all ranks stop here
+					if r.ID == 0 {
+						cancelled = true
+					}
 					break
 				}
 			}
@@ -137,5 +161,8 @@ func (s *Session) SolvePCG(b, x0 []float64) (Result, []float64, error) {
 	res.Stats = st
 	res.Trace = trace
 	s.restoreLand(out, b)
+	if cancelled {
+		return res, out, ctxSolveErr(ctx, "pcg", res.Iterations)
+	}
 	return res, out, nil
 }

@@ -1,24 +1,43 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/comm"
 )
 
-// SolvePCSI runs the preconditioned Classical Stiefel Iteration (paper
-// Algorithm 2) — a Chebyshev-type method whose iteration body contains *no*
-// inner products: the only global reductions are the convergence checks
-// every CheckEvery iterations. Its Chebyshev interval [ν, μ] comes from the
-// Session's eigenvalue estimates; when absent, EstimateEigenvalues runs
-// first with the given b (charged to the returned Result's EigSteps and the
-// Session's EigenStats, mirroring POP's one-time solver initialization).
+// SolvePCSI runs the preconditioned Classical Stiefel Iteration with a
+// background context; see SolvePCSIContext.
+func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
+	return s.SolvePCSIContext(context.Background(), b, x0)
+}
+
+// SolvePCSIContext runs the preconditioned Classical Stiefel Iteration
+// (paper Algorithm 2) — a Chebyshev-type method whose iteration body
+// contains *no* inner products: the only global reductions are the
+// convergence checks every CheckEvery iterations. Its Chebyshev interval
+// [ν, μ] comes from the Session's eigenvalue estimates; when absent,
+// EstimateEigenvalues runs first with the given b (charged to the returned
+// Result's EigSteps and the Session's EigenStats, mirroring POP's one-time
+// solver initialization).
 //
 // With PrecondIdentity this is the plain CSI solver of Hu et al. 2013.
-func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
+//
+// Cancellation is observed at convergence-check boundaries only (see the
+// session-level cancellation protocol) — for P-CSI those checks are also
+// the iteration's only reductions, so a cancelled solve still performs
+// zero extra communication.
+func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result, []float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Setup(); err != nil {
 		return Result{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, ctxSolveErr(ctx, "pcsi", 0)
 	}
 	if s.Mu == 0 {
 		if _, _, _, err := s.EstimateEigenvalues(nil, 0); err != nil {
@@ -26,13 +45,14 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 		}
 	}
 	if !(s.Nu > 0 && s.Mu > s.Nu) {
-		return Result{}, nil, fmt.Errorf("core: invalid Chebyshev interval [%g, %g]", s.Nu, s.Mu)
+		return Result{}, nil, fmt.Errorf("core: invalid Chebyshev interval [%g, %g]: %w", s.Nu, s.Mu, ErrBadSpec)
 	}
 	o := s.Opts
 	out := s.solveOut()
 	res := Result{Solver: "pcsi", Precond: o.Precond, Nu: s.Nu, Mu: s.Mu, EigSteps: s.EigSteps}
 	trace := &SolveTrace{EigBounds: s.EigTrace,
 		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
+	cancelled := false // written by rank 0 only, read after Run
 
 	nu, mu := s.Nu, s.Mu
 
@@ -45,8 +65,9 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 		rp := s.field(r, "csi.rp")
 		dx := s.field(r, "csi.dx")
 		// One reduction payload reused by every collective in this program —
-		// hoisted so the steady-state loop allocates nothing.
-		payload := make([]float64, 1)
+		// hoisted so the steady-state loop allocates nothing. Checks append
+		// the cancellation flag.
+		payload := make([]float64, 2)
 
 		var bn2 float64
 		for i := 0; i < nb; i++ {
@@ -56,7 +77,7 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 		}
 		payload[0] = bn2
-		bnorm := math.Sqrt(r.AllReduce(payload)[0])
+		bnorm := math.Sqrt(r.AllReduce(payload[:1])[0])
 		if r.ID == 0 {
 			res.BNorm = bnorm
 		}
@@ -127,7 +148,9 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 					r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 				}
 				payload[0] = rnL
-				rn := math.Sqrt(r.AllReduce(payload)[0])
+				payload[1] = cancelFlag(ctx)
+				g := r.AllReduce(payload[:2])
+				rn := math.Sqrt(g[0])
 				if r.ID == 0 {
 					res.RelResidual = rn / bnorm
 				}
@@ -137,6 +160,12 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 					break
 				}
 				if math.IsNaN(rn) {
+					break
+				}
+				if g[1] != 0 { // some rank saw ctx done — all ranks stop here
+					if r.ID == 0 {
+						cancelled = true
+					}
 					break
 				}
 				// Divergence guard: a growing residual means the spectrum
@@ -200,8 +229,12 @@ func (s *Session) SolvePCSI(b, x0 []float64) (Result, []float64, error) {
 	res.Stats = st
 	res.Trace = trace
 	s.restoreLand(out, b)
-	if !res.Converged && res.RelResidual > 1e6 {
-		return res, out, fmt.Errorf("core: P-CSI diverged (relative residual %g); Chebyshev interval [%g, %g] may not bracket the spectrum", res.RelResidual, nu, mu)
+	if cancelled {
+		return res, out, ctxSolveErr(ctx, "pcsi", res.Iterations)
+	}
+	if !res.Converged && (math.IsNaN(res.RelResidual) || res.RelResidual > 1e6) {
+		return res, out, fmt.Errorf("core: P-CSI diverged; Chebyshev interval [%g, %g] may not bracket the spectrum: %w", nu, mu,
+			&NotConvergedError{Solver: "pcsi", Iterations: res.Iterations, RelResidual: res.RelResidual})
 	}
 	return res, out, nil
 }

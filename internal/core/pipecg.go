@@ -1,33 +1,50 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/comm"
 )
 
-// SolvePipeCG runs the pipelined preconditioned conjugate gradient of
-// Ghysels & Vanroose (the §7 related-work alternative the paper contrasts
-// with its own approach): one global reduction per iteration like
-// ChronGear, but restructured so the preconditioner application and the
-// matrix-vector product overlap with the reduction in flight. The virtual
-// runtime prices that overlap through AllReduceOverlap, so this solver
-// shows how far latency *hiding* goes compared with P-CSI's latency
+// SolvePipeCG runs the pipelined preconditioned conjugate gradient with a
+// background context; see SolvePipeCGContext.
+func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
+	return s.SolvePipeCGContext(context.Background(), b, x0)
+}
+
+// SolvePipeCGContext runs the pipelined preconditioned conjugate gradient
+// of Ghysels & Vanroose (the §7 related-work alternative the paper
+// contrasts with its own approach): one global reduction per iteration
+// like ChronGear, but restructured so the preconditioner application and
+// the matrix-vector product overlap with the reduction in flight. The
+// virtual runtime prices that overlap through AllReduceOverlap, so this
+// solver shows how far latency *hiding* goes compared with P-CSI's latency
 // *elimination*.
 //
 // The price of pipelining is four extra vector recurrences per iteration
 // (z, q, s, p alongside x, r, u, w) and the well-known residual drift of
 // the longer recurrences; the convergence check still uses the recurrence
 // residual, as in the reference algorithm.
-func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
+//
+// Cancellation is observed at convergence-check boundaries only (see the
+// session-level cancellation protocol).
+func (s *Session) SolvePipeCGContext(ctx context.Context, b, x0 []float64) (Result, []float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Setup(); err != nil {
 		return Result{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, ctxSolveErr(ctx, "pipecg", 0)
 	}
 	o := s.Opts
 	out := s.solveOut()
 	res := Result{Solver: "pipecg", Precond: o.Precond}
 	trace := &SolveTrace{
 		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
+	cancelled := false // written by rank 0 only, read after Run
 
 	st := s.W.Run(func(r *comm.Rank) {
 		rs := s.state(r)
@@ -44,8 +61,9 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 		ss := s.zeroField(r, "pcg2.s")
 		pp := s.zeroField(r, "pcg2.p")
 		// Reduction payload reused by every collective in this program —
-		// hoisted so the steady-state loop allocates nothing.
-		payload := make([]float64, 3)
+		// hoisted so the steady-state loop allocates nothing. Checks append
+		// the residual norm and the cancellation flag.
+		payload := make([]float64, 4)
 
 		var bn2 float64
 		for i := 0; i < nb; i++ {
@@ -108,7 +126,8 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 			p := payload[:2]
 			if check {
 				payload[2] = rnL
-				p = payload[:3]
+				payload[3] = cancelFlag(ctx)
+				p = payload[:4]
 			}
 			// The reduction flies while m = M⁻¹w and n = A·m compute. The
 			// reduced values are consumed immediately: the result slice is
@@ -116,9 +135,9 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 			// (the Exchange below).
 			g := r.AllReduceOverlap(p, overlapFlops)
 			gamma, delta := g[0], g[1]
-			var rn2 float64
+			var rn2, cancelSum float64
 			if check {
-				rn2 = g[2]
+				rn2, cancelSum = g[2], g[3]
 			}
 			for i := 0; i < nb; i++ {
 				rs.pre[i].Apply(mm[i], ww[i])
@@ -136,6 +155,12 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 				traceResidual(r, trace, k, rn/bnorm)
 				if rn <= target {
 					converged = true
+					break
+				}
+				if cancelSum != 0 { // some rank saw ctx done — all stop here
+					if r.ID == 0 {
+						cancelled = true
+					}
 					break
 				}
 			}
@@ -171,5 +196,8 @@ func (s *Session) SolvePipeCG(b, x0 []float64) (Result, []float64, error) {
 	res.Stats = st
 	res.Trace = trace
 	s.restoreLand(out, b)
+	if cancelled {
+		return res, out, ctxSolveErr(ctx, "pipecg", res.Iterations)
+	}
 	return res, out, nil
 }

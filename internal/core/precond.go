@@ -17,15 +17,17 @@ import (
 	"repro/internal/stencil"
 )
 
-// PrecondType selects the preconditioner M.
+// PrecondType selects the preconditioner M. The zero value is the
+// diagonal preconditioner — POP's default — so zero-initialized Options
+// match POP's defaults (the same convention as Method).
 type PrecondType int
 
 const (
+	// PrecondDiagonal is POP's default M = Λ(A).
+	PrecondDiagonal PrecondType = iota
 	// PrecondIdentity is M = I (no preconditioning; turns P-CSI into the
 	// plain CSI solver of Hu et al. 2013).
-	PrecondIdentity PrecondType = iota
-	// PrecondDiagonal is POP's default M = Λ(A).
-	PrecondDiagonal
+	PrecondIdentity
 	// PrecondEVP is the paper's block-Jacobi preconditioner with each
 	// sub-block solved exactly by EVP marching (§4.3).
 	PrecondEVP
@@ -48,6 +50,11 @@ func (p PrecondType) String() string {
 	default:
 		return fmt.Sprintf("PrecondType(%d)", int(p))
 	}
+}
+
+// Valid reports whether p is one of the defined preconditioner types.
+func (p PrecondType) Valid() bool {
+	return p >= PrecondDiagonal && p <= PrecondBlockLU
 }
 
 // Preconditioner applies M⁻¹ to the interior of one block's padded array.

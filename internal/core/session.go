@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -112,6 +113,19 @@ type Session struct {
 	// time-stepper copies into its own Eta immediately) must copy.
 	outBuf   []float64
 	probeBuf []float64
+	// zeroBuf is the shared all-zeros initial guess SolveContext substitutes
+	// for a nil x0. Solvers only scatter *from* the guess, so one read-only
+	// buffer serves every solve without a per-request allocation.
+	zeroBuf []float64
+}
+
+// zeroX0 returns the session-owned all-zeros initial guess (allocated on
+// first use, never written afterwards).
+func (s *Session) zeroX0() []float64 {
+	if s.zeroBuf == nil {
+		s.zeroBuf = make([]float64, s.G.N())
+	}
+	return s.zeroBuf
 }
 
 // solveOut returns the session-owned global solution buffer, allocating it
@@ -136,17 +150,20 @@ type rankState struct {
 // decomposition must already be assigned to ranks and the world built on it.
 func NewSession(g *grid.Grid, op *stencil.Operator, d *decomp.Decomposition, w *comm.World, opts Options) (*Session, error) {
 	if g == nil || op == nil || d == nil || w == nil {
-		return nil, fmt.Errorf("core: nil session component")
+		return nil, fmt.Errorf("core: nil session component: %w", ErrBadSpec)
 	}
 	if op.Nx != g.Nx || op.Ny != g.Ny {
-		return nil, fmt.Errorf("core: operator %d×%d does not match grid %d×%d", op.Nx, op.Ny, g.Nx, g.Ny)
+		return nil, fmt.Errorf("core: operator %d×%d does not match grid %d×%d: %w", op.Nx, op.Ny, g.Nx, g.Ny, ErrBadSpec)
 	}
 	if w.D != d {
-		return nil, fmt.Errorf("core: world built on a different decomposition")
+		return nil, fmt.Errorf("core: world built on a different decomposition: %w", ErrBadSpec)
 	}
 	o := opts.withDefaults()
 	if o.Tol <= 0 || o.Tol >= 1 {
-		return nil, fmt.Errorf("core: tolerance %g out of (0,1)", o.Tol)
+		return nil, fmt.Errorf("core: tolerance %g out of (0,1): %w", o.Tol, ErrBadSpec)
+	}
+	if !o.Precond.Valid() {
+		return nil, fmt.Errorf("core: unknown preconditioner %v: %w", o.Precond, ErrBadSpec)
 	}
 	return &Session{G: g, Op: op, D: d, W: w, Opts: o,
 		perRank: make([]*rankState, d.NRanks)}, nil
@@ -180,7 +197,7 @@ func (s *Session) Setup() error {
 			case PrecondBlockLU:
 				pre, err = newBLUPrecond(b, loc, s.Opts.EVPBlockSize)
 			default:
-				err = fmt.Errorf("core: unknown preconditioner %v", s.Opts.Precond)
+				err = fmt.Errorf("core: unknown preconditioner %v: %w", s.Opts.Precond, ErrBadSpec)
 			}
 			if err != nil {
 				mu.Lock()
@@ -201,6 +218,32 @@ func (s *Session) Setup() error {
 	s.SetupStats = &st
 	s.ready = true
 	return nil
+}
+
+// Cancellation protocol. A context passed into a solve is observed only at
+// convergence-check boundaries, and only through the check's global
+// reduction: each rank sums its local observation of ctx (cancelFlag) into
+// one extra payload entry, so every rank sees the identical reduced verdict
+// and leaves the iteration loop at the same check. Ranks observing ctx
+// directly could disagree — cancellation racing the check would strand some
+// ranks in the next collective. Riding the existing reduction adds no
+// communication and cannot perturb the numerics between checks: the
+// residual entries reduce exactly as before, so a cancelled solve's
+// residual history is a bitwise prefix of the uncancelled one.
+
+// cancelFlag returns 1 when ctx is cancelled or past its deadline.
+func cancelFlag(ctx context.Context) float64 {
+	if ctx != nil && ctx.Err() != nil {
+		return 1
+	}
+	return 0
+}
+
+// ctxSolveErr wraps the context's error with solve position for a solve
+// stopped by cancellation; errors.Is matches context.Canceled or
+// context.DeadlineExceeded.
+func ctxSolveErr(ctx context.Context, solver string, iter int) error {
+	return fmt.Errorf("core: %s solve cancelled at iteration %d: %w", solver, iter, context.Cause(ctx))
 }
 
 // state returns the rank's persistent state (Setup must have run).

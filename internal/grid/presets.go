@@ -1,5 +1,7 @@
 package grid
 
+import "fmt"
+
 // Presets mirror the two production POP resolutions the paper evaluates plus
 // reduced-size variants for tests and laptop-scale experiments. All presets
 // share the same Seed, so every resolution sees the same synthetic geography.
@@ -32,6 +34,38 @@ func QuarterScaleTenthSpec() Spec { return baseSpec("tx0.4-synthetic", 900, 600)
 // TestSpec is a small grid for unit tests: same geography machinery at
 // 64×48.
 func TestSpec() Spec { return baseSpec("test-synthetic", 64, 48) }
+
+// Preset names accepted by ByName — the same identifiers the pop façade,
+// the CLI flags, and the solve service's JSON requests use.
+const (
+	PresetOneDegree         = "1deg"
+	PresetTenthDegree       = "0.1deg"
+	PresetTenthDegreeScaled = "0.1deg-scaled"
+	PresetTest              = "test"
+)
+
+// PresetNames lists the preset identifiers ByName accepts.
+func PresetNames() []string {
+	return []string{PresetOneDegree, PresetTenthDegree, PresetTenthDegreeScaled, PresetTest}
+}
+
+// ByName generates one of the preset synthetic grids by identifier. Every
+// call regenerates the grid; callers serving repeated requests should cache
+// the result (grid generation for the 0.1° preset takes seconds).
+func ByName(name string) (*Grid, error) {
+	switch name {
+	case PresetOneDegree:
+		return OneDegree(), nil
+	case PresetTenthDegree:
+		return TenthDegree(), nil
+	case PresetTenthDegreeScaled:
+		return Generate(QuarterScaleTenthSpec()), nil
+	case PresetTest:
+		return Generate(TestSpec()), nil
+	default:
+		return nil, fmt.Errorf("grid: unknown preset %q", name)
+	}
+}
 
 // OneDegree generates the synthetic 1° grid.
 func OneDegree() *Grid { return Generate(OneDegreeSpec()) }

@@ -26,7 +26,10 @@
 // scheduling.
 package perfmodel
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Machine is a priced machine model; it implements comm.CostModel.
 type Machine struct {
@@ -82,6 +85,23 @@ func Edison() *Machine {
 		ContentionMean: 2.6e-6,
 		ContentionTail: 0.25,
 		Seed:           0x45646973,
+	}
+}
+
+// ByName returns the machine model for a name: "yellowstone", "edison",
+// "ideal", or "" (nil: zero-cost, numerics only).
+func ByName(name string) (*Machine, error) {
+	switch name {
+	case "yellowstone":
+		return Yellowstone(), nil
+	case "edison":
+		return Edison(), nil
+	case "ideal":
+		return Ideal(), nil
+	case "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("perfmodel: unknown machine %q", name)
 	}
 }
 

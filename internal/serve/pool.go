@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/grid"
+	"repro/internal/perfmodel"
+	"repro/internal/stencil"
+)
+
+// request is one queued solve; resp is buffered (size 1) so a worker can
+// always deliver and move on even when the caller has abandoned the wait.
+type request struct {
+	ctx      context.Context
+	req      Request
+	key      Key
+	resp     chan result
+	enqueued time.Time
+}
+
+type result struct {
+	resp Response
+	err  error
+}
+
+// gridEntry caches what sessions on one grid share: the grid itself and the
+// assembled operator (both read-only during solves).
+type gridEntry struct {
+	g  *grid.Grid
+	op *stencil.Operator
+}
+
+func (s *Service) gridFor(name string) (*gridEntry, error) {
+	s.gridMu.Lock()
+	defer s.gridMu.Unlock()
+	if ge := s.grids[name]; ge != nil {
+		return ge, nil
+	}
+	g, err := s.opts.GridProvider(name)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w: %w", err, core.ErrBadSpec)
+	}
+	ge := &gridEntry{g: g, op: stencil.Assemble(g, stencil.PhiFromTimeStep(s.opts.Tau))}
+	s.grids[name] = ge
+	return ge, nil
+}
+
+// keyPool owns the queue and warmed sessions for one Key. Each session is
+// driven by exactly one worker goroutine, which is the whole concurrency
+// contract: a core.Session never sees two solves at once.
+type keyPool struct {
+	svc   *Service
+	key   Key
+	queue chan *request
+
+	buildMu  sync.Mutex
+	built    int   // sessions successfully built
+	growing  bool  // a background build is in flight
+	buildErr error // sticky first-build failure, returned at admission
+	gridN    int   // grid point count, for request validation
+}
+
+// ensureBuilt warms the pool's first session synchronously. Build failures
+// stick: every subsequent request for this key gets the same error without
+// re-attempting an expensive doomed build.
+func (p *keyPool) ensureBuilt() error {
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+	if p.built > 0 {
+		return nil
+	}
+	if p.buildErr != nil {
+		return p.buildErr
+	}
+	sess, err := p.build()
+	if err != nil {
+		p.buildErr = err
+		return err
+	}
+	p.gridN = sess.G.N()
+	if !p.startWorker(sess) {
+		// The service closed while we were building; terminal, so stick.
+		p.buildErr = ErrClosed
+		return ErrClosed
+	}
+	p.built++
+	return nil
+}
+
+func (p *keyPool) n() int {
+	p.buildMu.Lock()
+	defer p.buildMu.Unlock()
+	return p.gridN
+}
+
+// build assembles and warms one session: decomposition, virtual world,
+// preconditioner factorization, and (for Stiefel methods) the Lanczos
+// eigenvalue bounds — everything a request would otherwise pay for on its
+// first solve.
+func (p *keyPool) build() (*core.Session, error) {
+	ge, err := p.svc.gridFor(p.key.Grid)
+	if err != nil {
+		return nil, err
+	}
+	o := p.svc.opts
+	opts := o.Solver
+	opts.Precond = p.key.Precond
+
+	var d *decomp.Decomposition
+	if o.Cores > 0 {
+		bx, by, _, err := decomp.ChooseBlocking(ge.g, o.Cores, 3, 2)
+		if err != nil {
+			return nil, err
+		}
+		d, err = decomp.New(ge.g, bx, by, decomp.DefaultHalo)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		d, err = decomp.New(ge.g, ge.g.Nx, ge.g.Ny, decomp.DefaultHalo)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.AssignOnePerRank()
+	machine, err := perfmodel.ByName(o.MachineName)
+	if err != nil {
+		return nil, err
+	}
+	var cost comm.CostModel
+	if machine != nil {
+		cost = machine
+	}
+	w, err := comm.NewWorld(d, cost)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := core.NewSession(ge.g, ge.op, d, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Setup(); err != nil {
+		return nil, err
+	}
+	if p.key.Method == core.MethodPCSI {
+		if _, _, _, err := sess.EstimateEigenvalues(nil, 0); err != nil {
+			return nil, err
+		}
+	}
+	n := p.svc.sessCount.Add(1)
+	p.svc.m.sessions.Set(float64(n))
+	return sess, nil
+}
+
+// startWorker registers a worker under the service read lock so it can
+// never race Close's wg.Wait: either the worker starts before Close flips
+// closed, or the freshly built session is discarded.
+func (p *keyPool) startWorker(sess *core.Session) bool {
+	s := p.svc
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	s.wg.Add(1)
+	go p.worker(sess)
+	return true
+}
+
+// maybeGrow warms one more session in the background when the queue has a
+// backlog and the key has headroom. At most one build is in flight per key.
+func (p *keyPool) maybeGrow() {
+	p.buildMu.Lock()
+	if p.growing || p.buildErr != nil || p.built == 0 || p.built >= p.svc.opts.MaxSessionsPerKey {
+		p.buildMu.Unlock()
+		return
+	}
+	p.growing = true
+	p.buildMu.Unlock()
+	go func() {
+		sess, err := p.build()
+		p.buildMu.Lock()
+		defer p.buildMu.Unlock()
+		p.growing = false
+		if err == nil && p.startWorker(sess) {
+			p.built++
+		}
+	}()
+}
+
+// worker drives one session: pull a request, coalesce stragglers into a
+// batch, run the batch back-to-back on the session. When Close closes the
+// queue the worker finishes the remaining buffered requests before exiting
+// — that is the graceful drain.
+func (p *keyPool) worker(sess *core.Session) {
+	defer p.svc.wg.Done()
+	batch := make([]*request, 0, p.svc.opts.MaxBatch)
+	for {
+		first, ok := <-p.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		p.fill(&batch)
+		p.runBatch(sess, batch)
+	}
+}
+
+// fill coalesces queued requests into the batch: first a non-blocking
+// greedy drain, then up to MaxWait holding the batch open for stragglers.
+func (p *keyPool) fill(batch *[]*request) {
+	max := p.svc.opts.MaxBatch
+	for len(*batch) < max {
+		select {
+		case r, ok := <-p.queue:
+			if !ok {
+				return
+			}
+			*batch = append(*batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if wait := p.svc.opts.MaxWait; wait > 0 && len(*batch) < max {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		for len(*batch) < max {
+			select {
+			case r, ok := <-p.queue:
+				if !ok {
+					return
+				}
+				*batch = append(*batch, r)
+			case <-timer.C:
+				return
+			}
+		}
+	}
+}
+
+// runBatch executes one session checkout. Requests whose context is already
+// done are skipped (their spot in the checkout is not wasted on a doomed
+// solve); live ones run with their own context so a deadline can still stop
+// a solve at its next convergence check.
+func (p *keyPool) runBatch(sess *core.Session, batch []*request) {
+	m := &p.svc.m
+	m.batches.Inc()
+	m.batchSize.Observe(float64(len(batch)))
+	for _, r := range batch {
+		m.queueWait.Observe(time.Since(r.enqueued).Seconds())
+		if r.ctx.Err() != nil {
+			m.expired.Inc()
+			r.resp <- result{err: fmt.Errorf("serve: expired in queue: %w", context.Cause(r.ctx))}
+			continue
+		}
+		res, x, err := sess.SolveContext(r.ctx, r.key.Method, r.req.B, r.req.X0)
+		m.solves.Inc()
+		if err == nil && !res.Converged {
+			err = &core.NotConvergedError{
+				Solver: res.Solver, Iterations: res.Iterations, RelResidual: res.RelResidual}
+		}
+		if err != nil {
+			m.errors.Inc()
+			r.resp <- result{err: err}
+			continue
+		}
+		// x is the session's reusable arena; the response owns a copy.
+		xc := make([]float64, len(x))
+		copy(xc, x)
+		r.resp <- result{resp: Response{Result: res, X: xc}}
+	}
+}

@@ -9,15 +9,16 @@
 //
 // Quick start:
 //
-//	g := pop.NewGrid(pop.GridOneDegree)
-//	solver, _ := pop.NewSolver(g, pop.SolverSpec{Method: "pcsi", Precond: "evp", Cores: 96})
+//	g, _ := pop.NewGrid(pop.GridOneDegree)
+//	solver, _ := pop.NewSolver(g, pop.SolverSpec{Method: pop.MethodPCSI, Precond: pop.PrecondEVP, Cores: 96})
 //	res, x, _ := solver.Solve(b, nil)
 //
-// See examples/ for runnable programs and cmd/popbench for the experiment
-// harness.
+// For serving many solves concurrently, see NewService. See examples/ for
+// runnable programs and cmd/popbench for the experiment harness.
 package pop
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,6 +29,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/perfmodel"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/stencil"
 )
@@ -54,35 +56,100 @@ type (
 	Ensemble = stats.Ensemble
 	// SolverOptions exposes the full solver option set.
 	SolverOptions = core.Options
+
+	// Method selects the solver algorithm (see the Method* constants).
+	Method = core.Method
+	// Precond selects the preconditioner (see the Precond* constants).
+	Precond = core.PrecondType
+	// NotConvergedError carries the iteration count and final residual of
+	// a solve that stopped short of its tolerance; match with
+	// errors.As(err, &nc) or errors.Is(err, ErrNotConverged).
+	NotConvergedError = core.NotConvergedError
+
+	// Service is the concurrent solve front end: a pool of warmed-up
+	// sessions served by batching workers behind bounded queues.
+	Service = serve.Service
+	// ServiceOptions configures NewService.
+	ServiceOptions = serve.Options
+	// ServeRequest is one solve submission to a Service.
+	ServeRequest = serve.Request
+	// ServeResponse is one completed Service solve.
+	ServeResponse = serve.Response
+	// ServiceStats is a snapshot of a Service's counters.
+	ServiceStats = serve.Stats
 )
 
-// Preset grid names for NewGrid.
+// Solver methods. The zero value is ChronGear, POP's production solver.
+const (
+	// MethodChronGear is Algorithm 1: a PCG variant with one fused global
+	// reduction per iteration.
+	MethodChronGear = core.MethodChronGear
+	// MethodPCG is classic preconditioned conjugate gradients.
+	MethodPCG = core.MethodPCG
+	// MethodPipeCG is the Ghysels–Vanroose pipelined CG.
+	MethodPipeCG = core.MethodPipeCG
+	// MethodPCSI is the paper's preconditioned Stiefel iteration
+	// (Algorithm 2): no reductions outside convergence checks.
+	MethodPCSI = core.MethodPCSI
+	// MethodCSI is plain Stiefel iteration — MethodPCSI with identity
+	// preconditioning (NewSolver normalizes it to exactly that).
+	MethodCSI = core.MethodCSI
+)
+
+// Preconditioners. The zero value is diagonal, POP's default.
+const (
+	// PrecondDiagonal is POP's default M = Λ(A).
+	PrecondDiagonal = core.PrecondDiagonal
+	// PrecondIdentity disables preconditioning.
+	PrecondIdentity = core.PrecondIdentity
+	// PrecondEVP is the paper's block-Jacobi EVP preconditioner (§4.3).
+	PrecondEVP = core.PrecondEVP
+	// PrecondBlockLU is the dense block-LU comparator (§4.1).
+	PrecondBlockLU = core.PrecondBlockLU
+)
+
+// Typed errors of the public solve path, matchable with errors.Is /
+// errors.As.
+var (
+	// ErrBadSpec marks configuration errors: unknown methods,
+	// preconditioners or grids, out-of-range options, wrong-length
+	// vectors.
+	ErrBadSpec = core.ErrBadSpec
+	// ErrNotConverged marks solves that stopped short of their tolerance;
+	// concrete errors carry a *NotConvergedError.
+	ErrNotConverged = core.ErrNotConverged
+	// ErrOverloaded marks Service requests shed because a queue was full.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrServiceClosed marks Service requests rejected during drain.
+	ErrServiceClosed = serve.ErrClosed
+)
+
+// ParseMethod maps a method name ("chrongear", "pcg", "pipecg", "pcsi",
+// "csi"; "" = chrongear) to its Method; unknown names match ErrBadSpec.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// ParsePrecond maps a preconditioner name ("diagonal", "evp", "blocklu",
+// "none"; "" = diagonal) to its Precond; unknown names match ErrBadSpec.
+func ParsePrecond(s string) (Precond, error) { return core.ParsePrecond(s) }
+
+// NewService starts a concurrent solve service: Solve from any number of
+// goroutines; Close drains it. See cmd/popserver for the HTTP front end.
+func NewService(opts ServiceOptions) *Service { return serve.New(opts) }
+
+// Preset grid names for NewGrid (and Service requests).
 const (
 	// GridOneDegree is the paper's 1° production grid (320×384).
-	GridOneDegree = "1deg"
+	GridOneDegree = grid.PresetOneDegree
 	// GridTenthDegree is the paper's 0.1° grid (3600×2400; ~8.6M points).
-	GridTenthDegree = "0.1deg"
+	GridTenthDegree = grid.PresetTenthDegree
 	// GridTenthDegreeScaled keeps the 0.1° geography at 1/16 the points.
-	GridTenthDegreeScaled = "0.1deg-scaled"
+	GridTenthDegreeScaled = grid.PresetTenthDegreeScaled
 	// GridTest is a small grid for experimentation (64×48).
-	GridTest = "test"
+	GridTest = grid.PresetTest
 )
 
 // NewGrid generates one of the preset synthetic grids.
-func NewGrid(preset string) (*Grid, error) {
-	switch preset {
-	case GridOneDegree:
-		return grid.OneDegree(), nil
-	case GridTenthDegree:
-		return grid.TenthDegree(), nil
-	case GridTenthDegreeScaled:
-		return grid.Generate(grid.QuarterScaleTenthSpec()), nil
-	case GridTest:
-		return grid.Generate(grid.TestSpec()), nil
-	default:
-		return nil, fmt.Errorf("pop: unknown grid preset %q", preset)
-	}
-}
+func NewGrid(preset string) (*Grid, error) { return grid.ByName(preset) }
 
 // GenerateGrid builds a synthetic grid from a custom spec.
 func GenerateGrid(spec GridSpec) *Grid { return grid.Generate(spec) }
@@ -100,29 +167,17 @@ func AssembleOperator(g *Grid, tau float64) *Operator {
 
 // MachineByName returns a machine model: "yellowstone", "edison", "ideal",
 // or "" (free: zero-cost, numerics only).
-func MachineByName(name string) (*Machine, error) {
-	switch name {
-	case "yellowstone":
-		return perfmodel.Yellowstone(), nil
-	case "edison":
-		return perfmodel.Edison(), nil
-	case "ideal":
-		return perfmodel.Ideal(), nil
-	case "":
-		return nil, nil
-	default:
-		return nil, fmt.Errorf("pop: unknown machine %q", name)
-	}
-}
+func MachineByName(name string) (*Machine, error) { return perfmodel.ByName(name) }
 
-// SolverSpec configures NewSolver.
+// SolverSpec configures NewSolver. The zero value is POP's production
+// configuration: ChronGear with diagonal preconditioning. String
+// configurations (CLI flags, config files) convert via ParseMethod and
+// ParsePrecond.
 type SolverSpec struct {
-	// Method: "chrongear" (POP's production solver), "pcg", "pipecg"
-	// (Ghysels–Vanroose pipelined CG with overlap pricing), "pcsi" (the
-	// paper's contribution), or "csi" (unpreconditioned Stiefel).
-	Method string
-	// Precond: "diagonal" (default), "evp", "blocklu", or "none".
-	Precond string
+	// Method selects the solver algorithm; zero value MethodChronGear.
+	Method Method
+	// Precond selects the preconditioner; zero value PrecondDiagonal.
+	Precond Precond
 	// Tau is the barotropic time step used for the operator's mass term
 	// (default 1920 s, the 1° class step).
 	Tau float64
@@ -132,7 +187,8 @@ type SolverSpec struct {
 	// MachineName prices virtual time ("" = free).
 	MachineName string
 	// Options exposes the remaining solver knobs (tolerance, EVP block
-	// size, Lanczos controls); zero values take defaults.
+	// size, Lanczos controls); zero values take defaults. Options.Precond
+	// is overwritten from Precond.
 	Options SolverOptions
 }
 
@@ -145,36 +201,28 @@ type Solver struct {
 	Cores   int
 }
 
-// NewSolver builds a distributed solver over g.
+// NewSolver builds a distributed solver over g. Unknown methods and
+// preconditioners — including out-of-range enum values — are rejected here,
+// matching ErrBadSpec, never deferred to solve time.
 func NewSolver(g *Grid, spec SolverSpec) (*Solver, error) {
+	if g == nil {
+		return nil, fmt.Errorf("pop: nil grid: %w", ErrBadSpec)
+	}
 	if spec.Tau == 0 {
 		spec.Tau = 1920
 	}
-	method := spec.Method
-	if method == "" {
-		method = "chrongear"
+	if !spec.Method.Valid() {
+		return nil, fmt.Errorf("pop: unknown method %v: %w", spec.Method, ErrBadSpec)
+	}
+	if !spec.Precond.Valid() {
+		return nil, fmt.Errorf("pop: unknown preconditioner %v: %w", spec.Precond, ErrBadSpec)
+	}
+	if spec.Method == MethodCSI {
+		spec.Method = MethodPCSI
+		spec.Precond = PrecondIdentity
 	}
 	opts := spec.Options
-	switch spec.Precond {
-	case "", "diagonal":
-		opts.Precond = core.PrecondDiagonal
-	case "evp":
-		opts.Precond = core.PrecondEVP
-	case "blocklu":
-		opts.Precond = core.PrecondBlockLU
-	case "none":
-		opts.Precond = core.PrecondIdentity
-	default:
-		return nil, fmt.Errorf("pop: unknown preconditioner %q", spec.Precond)
-	}
-	switch method {
-	case "chrongear", "pcg", "pcsi", "pipecg":
-	case "csi":
-		method = "pcsi"
-		opts.Precond = core.PrecondIdentity
-	default:
-		return nil, fmt.Errorf("pop: unknown method %q", spec.Method)
-	}
+	opts.Precond = spec.Precond
 
 	op := stencil.Assemble(g, stencil.PhiFromTimeStep(spec.Tau))
 	var d *decomp.Decomposition
@@ -208,29 +256,24 @@ func NewSolver(g *Grid, spec SolverSpec) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	spec.Method = method
 	return &Solver{Spec: spec, G: g, Op: op, Session: sess, Cores: cores}, nil
 }
 
 // Solve runs the configured method on right-hand side b with initial guess
-// x0 (nil = zero) and returns the result and the solution.
+// x0 (nil = zero) and returns the result and the solution. It is
+// SolveContext with a background context.
 func (s *Solver) Solve(b, x0 []float64) (Result, []float64, error) {
-	if len(b) != s.G.N() {
-		return Result{}, nil, fmt.Errorf("pop: rhs length %d, want %d", len(b), s.G.N())
-	}
-	if x0 == nil {
-		x0 = make([]float64, len(b))
-	}
-	switch s.Spec.Method {
-	case "pcg":
-		return s.Session.SolvePCG(b, x0)
-	case "pipecg":
-		return s.Session.SolvePipeCG(b, x0)
-	case "pcsi":
-		return s.Session.SolvePCSI(b, x0)
-	default:
-		return s.Session.SolveChronGear(b, x0)
-	}
+	return s.SolveContext(context.Background(), b, x0)
+}
+
+// SolveContext is Solve honouring ctx: cancellation and deadlines are
+// observed at each convergence-check boundary (every CheckEvery
+// iterations), so an interrupted solve returns promptly — with an error
+// matching ctx's cause — without ever perturbing the numerics between
+// checks. The returned solution slice is the session's reusable arena,
+// valid until the next solve on this solver.
+func (s *Solver) SolveContext(ctx context.Context, b, x0 []float64) (Result, []float64, error) {
+	return s.Session.SolveContext(ctx, s.Spec.Method, b, x0)
 }
 
 // EstimateEigenvalues exposes the Lanczos bounds estimation (P-CSI setup).

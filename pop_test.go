@@ -1,6 +1,8 @@
 package pop
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -42,9 +44,9 @@ func TestSolverFacadeEndToEnd(t *testing.T) {
 	}
 
 	for _, spec := range []SolverSpec{
-		{Method: "chrongear", Precond: "diagonal", Cores: 12},
-		{Method: "pcsi", Precond: "evp", Cores: 12, MachineName: "yellowstone"},
-		{Method: "pcg", Precond: "blocklu"},
+		{Method: MethodChronGear, Precond: PrecondDiagonal, Cores: 12},
+		{Method: MethodPCSI, Precond: PrecondEVP, Cores: 12, MachineName: "yellowstone"},
+		{Method: MethodPCG, Precond: PrecondBlockLU},
 	} {
 		s, err := NewSolver(g, spec)
 		if err != nil {
@@ -70,32 +72,68 @@ func TestSolverFacadeEndToEnd(t *testing.T) {
 
 func TestSolverValidation(t *testing.T) {
 	g, _ := NewGrid(GridTest)
-	if _, err := NewSolver(g, SolverSpec{Method: "magic"}); err == nil {
-		t.Fatal("unknown method accepted")
+	// Out-of-range enum values must be rejected at construction, not
+	// silently dispatched to a default solver at solve time.
+	if _, err := NewSolver(g, SolverSpec{Method: Method(99)}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("unknown method: err = %v, want ErrBadSpec", err)
 	}
-	if _, err := NewSolver(g, SolverSpec{Precond: "magic"}); err == nil {
-		t.Fatal("unknown preconditioner accepted")
+	if _, err := NewSolver(g, SolverSpec{Precond: Precond(99)}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("unknown preconditioner: err = %v, want ErrBadSpec", err)
 	}
 	if _, err := NewSolver(g, SolverSpec{MachineName: "magic"}); err == nil {
 		t.Fatal("unknown machine accepted")
+	}
+	if _, err := NewSolver(nil, SolverSpec{}); !errors.Is(err, ErrBadSpec) {
+		t.Fatal("nil grid accepted")
 	}
 	s, err := NewSolver(g, SolverSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Solve(make([]float64, 3), nil); err == nil {
-		t.Fatal("wrong-length rhs accepted")
+	if _, _, err := s.Solve(make([]float64, 3), nil); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("wrong-length rhs: err = %v, want ErrBadSpec", err)
+	}
+	// String specs still work through the Parse helpers.
+	if m, err := ParseMethod("magic"); err == nil {
+		t.Fatalf("ParseMethod(magic) = %v, want error", m)
+	} else if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("ParseMethod(magic): err = %v, want ErrBadSpec", err)
+	}
+	if _, err := ParsePrecond("magic"); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("ParsePrecond(magic): err = %v, want ErrBadSpec", err)
 	}
 }
 
 func TestCSIMethodMapsToUnpreconditioned(t *testing.T) {
 	g, _ := NewGrid(GridTest)
-	s, err := NewSolver(g, SolverSpec{Method: "csi"})
+	s, err := NewSolver(g, SolverSpec{Method: MethodCSI})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Spec.Method != "pcsi" {
-		t.Fatalf("csi should map onto pcsi, got %q", s.Spec.Method)
+	if s.Spec.Method != MethodPCSI || s.Spec.Precond != PrecondIdentity {
+		t.Fatalf("csi should map onto pcsi+none, got %v+%v", s.Spec.Method, s.Spec.Precond)
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	g, _ := NewGrid(GridTest)
+	s, err := NewSolver(g, SolverSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	for k, m := range g.Mask {
+		if m {
+			b[k] = 1
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.SolveContext(ctx, b, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled solve: err = %v, want context.Canceled", err)
+	}
+	if res, _, err := s.SolveContext(context.Background(), b, nil); err != nil || !res.Converged {
+		t.Fatalf("background solve after cancel: converged=%v err=%v", res.Converged, err)
 	}
 }
 

@@ -27,6 +27,14 @@ go test -race -count=1 \
     -run 'TestSteadyStateSolverAllocFree|TestPCSIResidualHistoryBitwiseDeterministic' \
     ./internal/core/
 
+echo "== serve concurrency gates (race) =="
+# The serving-layer invariants: pooled concurrent solves stay bitwise
+# identical to serial, a full queue sheds with ErrOverloaded instead of
+# blocking, expired requests are skipped, and Close drains gracefully.
+go test -race -count=1 \
+    -run 'TestPooledSolvesBitwiseIdenticalToSerial|TestOverloadShedsNeverBlocks|TestBatchingCoalesces|TestDeadlineExpiryMidSolve|TestExpiredInQueueSkipped|TestGracefulDrain' \
+    ./internal/serve/
+
 echo "== popsolve telemetry smoke run =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -56,5 +64,35 @@ grep -q '"straggler"' "$tmp/t.jsonl"
 grep -q '^# TYPE popsolve_iterations_total counter' "$tmp/m.prom"
 grep -q '^popsolve_converged 1' "$tmp/m.prom"
 grep -q 'popsolve_reduce_wait_seconds_bucket{le="+Inf"}' "$tmp/m.prom"
+
+echo "== popserver HTTP smoke run =="
+addr=127.0.0.1:18411
+go build -o "$tmp/popserver" ./cmd/popserver
+"$tmp/popserver" -addr "$addr" > "$tmp/server.log" 2>&1 &
+server_pid=$!
+trap 'rm -rf "$tmp"; kill "$server_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    curl -fs "http://$addr/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fs "http://$addr/healthz" | grep -q ok
+curl -fs -X POST "http://$addr/solve" \
+    -d '{"grid":"test","method":"pcsi","precond":"evp","rhs":"smooth"}' \
+    > "$tmp/solve.json"
+grep -q '"converged":true' "$tmp/solve.json"
+# Typed errors surface as HTTP statuses: unknown method -> 400.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/solve" \
+    -d '{"method":"warp","rhs":"smooth"}')
+[ "$code" = 400 ] || { echo "bad method gave $code, want 400"; exit 1; }
+curl -fs "http://$addr/metrics" | grep -q '^serve_solves_total'
+# SIGTERM drains gracefully and the process exits on its own.
+kill -TERM "$server_pid"
+for _ in $(seq 1 50); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "popserver did not exit after SIGTERM"; exit 1
+fi
 
 echo "verify.sh: OK"
