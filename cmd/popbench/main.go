@@ -5,6 +5,7 @@
 //	popbench -exp fig8 -machine yellowstone        # one experiment, full scale
 //	popbench -exp all -quick                       # everything, reduced scale
 //	popbench -serve                                # solve-service load test
+//	popbench -chaos                                # per-fault-class resilience loop
 //	popbench -list                                 # available experiment ids
 //
 // Full-scale 0.1° sweeps execute millions of real solver iterations across
@@ -40,6 +41,9 @@ func main() {
 		serveLoad = flag.Bool("serve", false, "load-test the concurrent solve service, write BENCH_serve.json")
 		serveSec  = flag.Float64("servesec", 3, "closed-loop duration for -serve (seconds)")
 		serveCli  = flag.Int("serveclients", 8, "closed-loop client count for -serve")
+		chaos     = flag.Bool("chaos", false, "fault-injection closed loop per fault class, write BENCH_chaos.json")
+		chaosSec  = flag.Float64("chaossec", 2, "closed-loop duration per -chaos phase (seconds)")
+		chaosCli  = flag.Int("chaosclients", 8, "closed-loop client count for -chaos")
 	)
 	flag.Parse()
 	obs.ServePprof(*pprofAddr)
@@ -50,6 +54,13 @@ func main() {
 	}
 	if *serveLoad {
 		if err := runServeBench(*reportDir, *serveSec, *serveCli, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *chaos {
+		if err := runChaosBench(*reportDir, *chaosSec, *chaosCli, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
 		}

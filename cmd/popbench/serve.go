@@ -25,6 +25,7 @@ import (
 type serveReport struct {
 	Name      string           `json:"name"`
 	Timestamp string           `json:"timestamp"`
+	GoVersion string           `json:"go_version"`
 	Grid      string           `json:"grid"`
 	Method    string           `json:"method"`
 	Precond   string           `json:"precond"`
@@ -133,6 +134,7 @@ func runServeBench(dir string, seconds float64, clients int, out io.Writer) erro
 	rep := serveReport{
 		Name:      "serve",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
 		Grid:      gridName,
 		Method:    method.String(),
 		Precond:   precond.String(),

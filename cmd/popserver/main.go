@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -51,6 +52,8 @@ func main() {
 		wait      = flag.Duration("wait", 2*time.Millisecond, "batching window for stragglers")
 		drainWait = flag.Duration("drain", 30*time.Second, "graceful drain budget on shutdown")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		circuit   = flag.Int("circuit", 0, "open a key's circuit breaker after this many consecutive faulted solves (0 = off)")
+		cooldown  = flag.Duration("cooldown", time.Second, "how long an open circuit quarantines its key")
 	)
 	flag.Parse()
 	obs.ServePprof(*pprofAddr)
@@ -62,6 +65,8 @@ func main() {
 		MaxQueue:          *queue,
 		MaxBatch:          *batch,
 		MaxWait:           *wait,
+		CircuitThreshold:  *circuit,
+		CircuitCooldown:   *cooldown,
 	})
 	h := &handler{svc: svc}
 
@@ -200,8 +205,14 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled), errors.Is(err, pop.ErrServiceClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, pop.ErrCircuitOpen):
+		// Like draining: the key heals on its own once the cooldown passes,
+		// so clients should back off and retry rather than treat it fatal.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, pop.ErrNotConverged):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, pop.ErrFaulted):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}
@@ -254,8 +265,20 @@ func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// statsResponse wraps the counter snapshot with the server's build and
+// configuration identity, so a /stats scrape is self-describing.
+type statsResponse struct {
+	pop.ServiceStats
+	GoVersion string   `json:"go_version"`
+	Grids     []string `json:"grids"`
+}
+
 func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.svc.Snapshot())
+	writeJSON(w, http.StatusOK, statsResponse{
+		ServiceStats: h.svc.Snapshot(),
+		GoVersion:    runtime.Version(),
+		Grids:        h.svc.Grids(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/decomp"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -96,6 +97,22 @@ type World struct {
 	// rank. Nil (the default) disables tracing: each instrumentation site
 	// then costs a single nil check and allocates nothing.
 	Tracer *obs.Tracer
+
+	// Faults, when non-nil and its plan is active, is consulted by the
+	// reduction and halo-exchange paths to inject deterministic faults
+	// (straggler delays, dropped/corrupted halo strips, failed reductions).
+	// Nil or an inactive plan leaves every communication path bitwise
+	// identical to a world without injection: the hooks reduce to one
+	// pointer/branch check per phase.
+	Faults *faults.Injector
+
+	// faultEpoch counts Run invocations on this world. Each run salts its
+	// fault-draw sequence numbers with the epoch (see Run), so successive
+	// solves on one session draw disjoint slices of the injector's schedule
+	// instead of replaying the first solve's verdicts forever. Cost-model
+	// draw keys are deliberately NOT salted: with the injector disabled,
+	// every run of a program remains bitwise identical to the previous one.
+	faultEpoch int64
 
 	reduceCh []chan []float64 // per-rank outbox for the reduction up-phase
 	bcastCh  []chan []float64 // per-rank inbox for the broadcast down-phase
@@ -224,7 +241,16 @@ type Rank struct {
 	clock     float64
 	reduceSeq int64
 	flopSeq   int64
+	haloSeq   int64 // exchange-phase sequence number (fault-draw site key)
+	// faultBase is the run's fault-draw salt (World.faultEpoch << 32 at Run
+	// entry): added to the per-site sequence numbers for injector draws
+	// only, never for cost-model draws.
+	faultBase int64
 	trace     *obs.RankTrace // nil when the World has no tracer
+
+	// reduceFailed is set by AllReduce when the fault injector failed the
+	// last reduction; resilient callers poll it via ReduceFailed and retry.
+	reduceFailed bool
 
 	// multi is Exchange's scratch for wrapping a single field set as a
 	// one-level ExchangeMulti call without allocating the wrapper slice.
@@ -268,6 +294,30 @@ func (r *Rank) AddFlops(n int64) {
 		r.trace.Add(obs.Event{Name: obs.EvCompute, T0: t0, T1: r.clock,
 			Value: float64(n), Iter: -1, Straggler: -1})
 	}
+}
+
+// ReduceSeq returns the rank's fault-draw key for the current collective:
+// the run's epoch salt plus how many reductions this rank has entered. The
+// salt makes the key distinct across solves on the same World, so
+// per-check fault decisions (e.g. rank crashes) draw fresh verdicts every
+// solve instead of replaying the first solve's schedule.
+func (r *Rank) ReduceSeq() int64 { return r.faultBase + r.reduceSeq }
+
+// ReduceFailed reports whether the injector failed the rank's most recent
+// AllReduce. The verdict is identical on every rank of the collective (it is
+// keyed on the reduction's sequence number alone), so resilient callers can
+// branch on it without an extra agreement round.
+func (r *Rank) ReduceFailed() bool { return r.reduceFailed }
+
+// AddDelay advances the rank's virtual clock by dt seconds, charged to the
+// reduction phase — the backoff a resilient solver pays between reduction
+// retries. No-op for dt ≤ 0.
+func (r *Rank) AddDelay(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	r.ctr.TReduce += dt
+	r.clock += dt
 }
 
 // Stats is the aggregate result of one World.Run.
@@ -330,13 +380,18 @@ func (s *Stats) Breakdown() (comp, halo, reduce PhaseStat) {
 // statistics. Programs must make collective calls (AllReduce, Exchange,
 // Barrier) in the same order on every rank, exactly as MPI requires.
 func (w *World) Run(program func(*Rank)) Stats {
+	// Fault-draw salt for this run (see World.faultEpoch). The shift leaves
+	// 2³² per-run sequence numbers before epochs could collide — far beyond
+	// any solve's site count.
+	base := w.faultEpoch << 32
+	w.faultEpoch++
 	ranks := make([]*Rank, w.NRank)
 	for rid := 0; rid < w.NRank; rid++ {
 		blocks := make([]*decomp.Block, len(w.D.ByRank[rid]))
 		for i, bid := range w.D.ByRank[rid] {
 			blocks[i] = &w.D.Blocks[bid]
 		}
-		ranks[rid] = &Rank{ID: rid, World: w, Blocks: blocks}
+		ranks[rid] = &Rank{ID: rid, World: w, Blocks: blocks, faultBase: base}
 		if w.Tracer.Enabled() {
 			ranks[rid].trace = w.Tracer.Rank(rid)
 			ranks[rid].trace.Add(obs.Event{Name: obs.EvRunBegin, Point: true,

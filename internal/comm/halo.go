@@ -1,6 +1,11 @@
 package comm
 
-import "repro/internal/obs"
+import (
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
 
 // Halo exchange. POP updates block halos in two phases — east/west columns
 // first, then north/south rows that span the full padded width including the
@@ -172,6 +177,28 @@ func (r *Rank) exchangePhase(levels [][][]float64, phase int) {
 	entry := r.clock
 	nlv := len(levels)
 
+	// Fault injection, halo classes. One draw per (rank, phase sequence):
+	// "drop" discards everything this rank receives this phase (its halos go
+	// stale), "corrupt" NaN-poisons the first received strip. The sequence
+	// number advances regardless so schedules stay aligned across plans.
+	haloSeq := r.faultBase + r.haloSeq
+	r.haloSeq++
+	var drop, corrupt bool
+	if w.Faults.Enabled() {
+		drop = w.Faults.DropHalo(r.ID, haloSeq)
+		if !drop {
+			corrupt = w.Faults.CorruptHalo(r.ID, haloSeq)
+		}
+		if (drop || corrupt) && r.trace != nil {
+			class := faults.HaloDrop
+			if corrupt {
+				class = faults.HaloCorrupt
+			}
+			r.trace.Add(obs.Event{Name: obs.EvFault, Point: true, T0: entry,
+				Value: float64(haloSeq), Aux: float64(class), Iter: -1, Straggler: -1})
+		}
+	}
+
 	for ei := range plan.sends {
 		e := &plan.sends[ei]
 		buf := <-e.free
@@ -205,9 +232,21 @@ func (r *Rank) exchangePhase(levels [][][]float64, phase int) {
 		m := <-e.ch
 		stripLen := len(m.data) / nlv
 		b := r.Blocks[e.bi]
-		for li, fields := range levels {
-			insertStrip(fields[e.bi], b.NxI, b.NyI, h, e.side,
-				m.data[li*stripLen:(li+1)*stripLen])
+		if corrupt && ei == 0 {
+			// Poison the received payload before it lands in the halo — the
+			// whole message, so the NaN reaches ring-1 cells the stencil
+			// actually reads regardless of side and halo depth. The pool
+			// buffer is fully rewritten by the sender's next
+			// extractStripInto, so the NaN does not leak into later phases.
+			for di := range m.data {
+				m.data[di] = math.NaN()
+			}
+		}
+		if !drop {
+			for li, fields := range levels {
+				insertStrip(fields[e.bi], b.NxI, b.NyI, h, e.side,
+					m.data[li*stripLen:(li+1)*stripLen])
+			}
 		}
 		e.free <- m.data
 		if m.clock > arrival {

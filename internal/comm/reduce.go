@@ -1,6 +1,9 @@
 package comm
 
-import "repro/internal/obs"
+import (
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
 
 // Global reductions. The combine order is a fixed binomial tree over rank
 // IDs — the same association an MPI_Allreduce on a power-of-two communicator
@@ -44,6 +47,20 @@ import "repro/internal/obs"
 func (r *Rank) AllReduce(vals []float64) []float64 {
 	w := r.World
 	p := w.NRank
+	// Fault injection, straggler class: delay this rank's entry. The delay
+	// lands on the clock *before* the entry snapshot, so it propagates into
+	// the reduction's max-entry clock and every other rank waits for it —
+	// the amplification mechanism of the paper's §5.2 jitter analysis.
+	if w.Faults.Enabled() {
+		if d := w.Faults.StragglerDelay(r.ID, r.faultBase+r.reduceSeq); d > 0 {
+			r.ctr.TComp += d
+			r.clock += d
+			if r.trace != nil {
+				r.trace.Add(obs.Event{Name: obs.EvFault, Point: true, T0: r.clock,
+					Value: d, Aux: float64(faults.Straggler), Iter: -1, Straggler: -1})
+			}
+		}
+	}
 	entry := r.clock
 	seq := r.reduceSeq
 	r.reduceSeq++
@@ -100,6 +117,20 @@ func (r *Rank) AllReduce(vals []float64) []float64 {
 		r.trace.Add(obs.Event{Name: obs.EvReduce, T0: entry, T1: newClock,
 			Value: float64(n), Straggler: int(result[n+1]), Wait: result[n] - entry,
 			Iter: -1})
+	}
+	// Fault injection, reduce-fail class: the collective "failed" — every
+	// rank draws the identical verdict from seq alone, sets its flag, and
+	// resilient callers re-enter the reduction in lockstep. The reduced
+	// values are still returned (callers that don't check the flag behave
+	// exactly as before).
+	r.reduceFailed = false
+	if w.Faults.Enabled() && w.Faults.FailReduce(r.ID, r.faultBase+seq) {
+		r.reduceFailed = true
+		if r.trace != nil {
+			r.trace.Add(obs.Event{Name: obs.EvFault, Point: true, T0: newClock,
+				Value: float64(seq), Aux: float64(faults.ReduceFail), Iter: -1,
+				Straggler: -1})
+		}
 	}
 	return result[:n]
 }

@@ -22,6 +22,13 @@ var (
 	// tolerance. Concrete errors carry a *NotConvergedError with the
 	// iteration count and final residual.
 	ErrNotConverged = errors.New("solver did not converge")
+
+	// ErrFaulted marks solves that injected (or real) faults pushed beyond
+	// the resilience machinery's recovery budget: a reduction that kept
+	// failing past the bounded retry limit, or more checkpoint rollbacks
+	// than Options.MaxRecoveries allows. Concrete errors carry a
+	// *FaultedError with the recovery counts at the point of surrender.
+	ErrFaulted = errors.New("solver faulted beyond recovery")
 )
 
 // NotConvergedError reports a solve that stopped short of its tolerance,
@@ -41,3 +48,21 @@ func (e *NotConvergedError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrNotConverged) match.
 func (e *NotConvergedError) Unwrap() error { return ErrNotConverged }
+
+// FaultedError reports a solve abandoned because faults exhausted the
+// recovery budget, carrying how much recovery was attempted before giving
+// up. It matches errors.Is(err, ErrFaulted).
+type FaultedError struct {
+	Solver        string // method name ("pcsi", "chrongear", ...)
+	Iterations    int    // iterations executed before surrender
+	Restores      int    // checkpoint rollbacks performed
+	ReduceRetries int    // failed-reduction retries performed
+}
+
+func (e *FaultedError) Error() string {
+	return fmt.Sprintf("core: %s faulted beyond recovery at iteration %d (%d restores, %d reduce retries)",
+		e.Solver, e.Iterations, e.Restores, e.ReduceRetries)
+}
+
+// Unwrap makes errors.Is(err, ErrFaulted) match.
+func (e *FaultedError) Unwrap() error { return ErrFaulted }

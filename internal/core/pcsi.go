@@ -53,6 +53,13 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 	trace := &SolveTrace{EigBounds: s.EigTrace,
 		Residuals: make([]ResidualPoint, 0, o.MaxIters/o.CheckEvery+1)}
 	cancelled := false // written by rank 0 only, read after Run
+	faulted := false   // written by rank 0 only, read after Run
+
+	// Resilient mode runs only under an active fault injector; otherwise
+	// every branch below reduces to the legacy path and the solve is bitwise
+	// identical to a world that never heard of fault injection.
+	inj := s.W.Faults
+	resilient := inj.Enabled() && o.MaxRecoveries >= 0
 
 	nu, mu := s.Nu, s.Mu
 
@@ -63,11 +70,20 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 		bs := s.scatterMasked(r, "csi.b", b)
 		rr := s.field(r, "csi.r")
 		rp := s.field(r, "csi.rp")
-		dx := s.field(r, "csi.dx")
+		// dx starts from zero: the recurrence's first update multiplies the
+		// previous dx by 0, and a non-finite leftover from an earlier faulted
+		// solve on this session would otherwise survive the product.
+		dx := s.zeroField(r, "csi.dx")
+		// ck is the iteration-state checkpoint (a copy of x at the last
+		// clean convergence check), maintained only in resilient mode.
+		var ck [][]float64
+		if resilient {
+			ck = s.field(r, "csi.ckpt")
+		}
 		// One reduction payload reused by every collective in this program —
 		// hoisted so the steady-state loop allocates nothing. Checks append
-		// the cancellation flag.
-		payload := make([]float64, 2)
+		// the cancellation flag (and, in resilient mode, the crash flag).
+		payload := make([]float64, 3)
 
 		var bn2 float64
 		for i := 0; i < nb; i++ {
@@ -77,7 +93,22 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
 		}
 		payload[0] = bn2
-		bnorm := math.Sqrt(r.AllReduce(payload[:1])[0])
+		var bnorm float64
+		if resilient {
+			g, nret, ok := reduceRetry(r, inj, payload[:1])
+			if r.ID == 0 {
+				res.Recovery.ReduceRetries += nret
+			}
+			if !ok {
+				if r.ID == 0 {
+					faulted = true
+				}
+				return
+			}
+			bnorm = math.Sqrt(g[0])
+		} else {
+			bnorm = math.Sqrt(r.AllReduce(payload[:1])[0])
+		}
 		if r.ID == 0 {
 			res.BNorm = bnorm
 		}
@@ -119,11 +150,17 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 			residual(rs.locs[i], rr[i], bs[i], xs[i])
 			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
 		}
+		if resilient {
+			// Initial checkpoint: the post-initialization iterate (free in
+			// the cost model — node-local memory traffic, no communication).
+			copyFields(ck, xs)
+		}
 
 		omega := 2 / gamma // ω₀
 		converged := false
 		prevRn := math.Inf(1)
 		widenings, slowChecks, raises := 0, 0, 0
+		restores := 0 // identical on every rank: driven by reduced verdicts
 		k := 0
 		for k < o.MaxIters {
 			k++
@@ -149,24 +186,146 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 				}
 				payload[0] = rnL
 				payload[1] = cancelFlag(ctx)
-				g := r.AllReduce(payload[:2])
+				var g []float64
+				crashed := false
+				if resilient {
+					// The crash flag rides the check reduction like the
+					// cancellation flag: each rank draws its own verdict, and
+					// the reduced sum tells every rank whether anyone crashed
+					// — so the rollback below is entered in lockstep.
+					crashed = inj.CrashRank(r.ID, r.ReduceSeq())
+					payload[2] = 0
+					if crashed {
+						payload[2] = 1
+					}
+					var nret int
+					var ok bool
+					g, nret, ok = reduceRetry(r, inj, payload[:3])
+					if r.ID == 0 {
+						res.Recovery.ReduceRetries += nret
+					}
+					if !ok {
+						if r.ID == 0 {
+							faulted = true
+						}
+						break
+					}
+				} else {
+					g = r.AllReduce(payload[:2])
+				}
 				rn := math.Sqrt(g[0])
 				if r.ID == 0 {
 					res.RelResidual = rn / bnorm
 				}
 				traceResidual(r, trace, k, rn/bnorm)
-				if rn <= target {
-					converged = true
-					break
-				}
-				if math.IsNaN(rn) {
-					break
+				doRestore := false
+				if resilient && g[2] != 0 {
+					// A rank crashed this interval; its iterate is lost. The
+					// crash preempts a simultaneous convergence verdict — the
+					// collective rolls back first and re-proves convergence
+					// from the restored state if it was real.
+					if crashed {
+						for i := range xs {
+							for idx := range xs[i] {
+								xs[i][idx] = 0
+							}
+						}
+					}
+					doRestore = true
+				} else if rn <= target {
+					if !resilient {
+						converged = true
+						break
+					}
+					// Confirm on fresh halos before trusting the verdict: a
+					// halo dropped right before this check leaves a stale
+					// residual that can fake convergence. The confirmation
+					// recomputes r on freshly exchanged x and re-reduces.
+					r.Exchange(xs)
+					var cnL float64
+					for i := 0; i < nb; i++ {
+						residual(rs.locs[i], rr[i], bs[i], xs[i])
+						r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
+						cnL += rs.locs[i].MaskedDotInterior(rr[i], rr[i])
+						r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
+					}
+					payload[0] = cnL
+					g2, nret, ok := reduceRetry(r, inj, payload[:1])
+					if r.ID == 0 {
+						res.Recovery.ReduceRetries += nret
+					}
+					if !ok {
+						if r.ID == 0 {
+							faulted = true
+						}
+						break
+					}
+					crn := math.Sqrt(g2[0])
+					if crn <= target {
+						if r.ID == 0 {
+							res.RelResidual = crn / bnorm
+						}
+						converged = true
+						break
+					}
+					if math.IsNaN(crn) {
+						doRestore = true
+					} else {
+						// False convergence: reset the recurrence from the
+						// current fresh-halo iterate and keep iterating.
+						omega = 2 / gamma
+						prevRn = math.Inf(1)
+						slowChecks = 0
+						traceRecover(r, k, recKindReconverge)
+						if r.ID == 0 {
+							res.Recovery.Reconverges++
+							inj.Recovered("reconverge")
+						}
+						continue
+					}
+				} else if math.IsNaN(rn) {
+					if !resilient {
+						break
+					}
+					doRestore = true // NaN tripwire: corrupted halo reached the iterate
 				}
 				if g[1] != 0 { // some rank saw ctx done — all ranks stop here
 					if r.ID == 0 {
 						cancelled = true
 					}
 					break
+				}
+				if doRestore {
+					restores++
+					if restores > o.MaxRecoveries {
+						if r.ID == 0 {
+							faulted = true
+						}
+						break
+					}
+					// Collective rollback: every rank restores the last
+					// checkpoint, refreshes halos, recomputes the residual,
+					// and restarts the Chebyshev recurrence.
+					copyFields(xs, ck)
+					r.Exchange(xs)
+					for i := 0; i < nb; i++ {
+						residual(rs.locs[i], rr[i], bs[i], xs[i])
+						r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
+						// The update direction may carry the NaN that tripped
+						// the restore; the recurrence restart must not see it.
+						for idx := range dx[i] {
+							dx[i][idx] = 0
+						}
+					}
+					omega = 2 / gamma
+					prevRn = math.Inf(1)
+					slowChecks = 0
+					traceRecover(r, k, recKindRestore)
+					if r.ID == 0 {
+						res.Recovery.Restores++
+						inj.Recovered("restore")
+					}
+					continue
 				}
 				// Divergence guard: a growing residual means the spectrum
 				// leaks *above* μ (Lanczos approaches λ_max from below,
@@ -216,6 +375,14 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 					traceInterval(r, trace, k, "widen-nu", nu, mu)
 				}
 				prevRn = rn
+				if resilient {
+					// Clean check: checkpoint the iterate. Free in the cost
+					// model (node-local copy, no communication).
+					copyFields(ck, xs)
+					if r.ID == 0 {
+						res.Recovery.CheckpointIter = k
+					}
+				}
 			}
 		}
 		if r.ID == 0 {
@@ -231,6 +398,10 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 	s.restoreLand(out, b)
 	if cancelled {
 		return res, out, ctxSolveErr(ctx, "pcsi", res.Iterations)
+	}
+	if faulted {
+		return res, out, &FaultedError{Solver: "pcsi", Iterations: res.Iterations,
+			Restores: res.Recovery.Restores, ReduceRetries: res.Recovery.ReduceRetries}
 	}
 	if !res.Converged && (math.IsNaN(res.RelResidual) || res.RelResidual > 1e6) {
 		return res, out, fmt.Errorf("core: P-CSI diverged; Chebyshev interval [%g, %g] may not bracket the spectrum: %w", nu, mu,

@@ -49,6 +49,14 @@ type Options struct {
 	// √(ν_true/ν)); P-CSI's slow-convergence and divergence guards widen
 	// the interval adaptively when a mode leaks outside.
 	EigSafetyLow, EigSafetyHigh float64
+
+	// MaxRecoveries bounds the checkpoint rollbacks (crash or NaN-tripwire
+	// restores) one resilient solve may perform before surrendering with
+	// ErrFaulted. Default 8; negative disables the resilience machinery
+	// entirely even when the world carries an active fault injector. It
+	// only takes effect when the session's World has an active
+	// faults.Injector — without one, solves run the exact legacy path.
+	MaxRecoveries int
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.EigSafetyHigh == 0 {
 		o.EigSafetyHigh = 1.1
+	}
+	if o.MaxRecoveries == 0 {
+		o.MaxRecoveries = 8
 	}
 	return o
 }
@@ -324,4 +335,31 @@ type Result struct {
 	// interval-widening events). Always recorded — appends happen only at
 	// convergence checks, so the cost is negligible.
 	Trace *SolveTrace
+	// Recovery summarizes what the resilience machinery did during this
+	// solve. All-zero for fault-free runs (and always for worlds without an
+	// active injector).
+	Recovery RecoveryInfo
+}
+
+// RecoveryInfo counts the recovery actions one solve performed. Populated
+// only when the session's World carries an active fault injector and
+// Options.MaxRecoveries ≥ 0.
+type RecoveryInfo struct {
+	// ReduceRetries is how many failed global reductions were re-entered
+	// (each retry pays a bounded virtual-clock backoff).
+	ReduceRetries int
+	// Restores is how many times the iteration state was rolled back to the
+	// last checkpoint (rank crash or NaN tripwire).
+	Restores int
+	// Reconverges counts convergence confirmations that failed — the check
+	// reduction said "converged" but a fresh-halo residual disagreed (stale
+	// or corrupted halos), so the solve reset its recurrence and continued.
+	Reconverges int
+	// CheckpointIter is the iteration of the last checkpoint taken (0 when
+	// only the initial state was checkpointed).
+	CheckpointIter int
+	// Degraded names the fallback rung that produced the result: "" (none),
+	// "re-eig" (P-CSI retried with re-estimated eigenvalue bounds), or
+	// "chrongear" (P-CSI fell back to the ChronGear solver).
+	Degraded string
 }

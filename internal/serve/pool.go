@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -64,6 +65,55 @@ type keyPool struct {
 	growing  bool  // a background build is in flight
 	buildErr error // sticky first-build failure, returned at admission
 	gridN    int   // grid point count, for request validation
+
+	// Circuit breaker (active only when Options.CircuitThreshold > 0):
+	// consecutive faulted solves open the circuit, quarantining the key for
+	// CircuitCooldown; the first admission after the cooldown is a half-open
+	// probe whose failure re-opens the circuit immediately.
+	cbMu     sync.Mutex
+	cbFails  int
+	cbOpenAt time.Time // zero = circuit closed
+}
+
+// circuitAllow reports whether admission may proceed for this key.
+func (p *keyPool) circuitAllow() bool {
+	th := p.svc.opts.CircuitThreshold
+	if th <= 0 {
+		return true
+	}
+	p.cbMu.Lock()
+	defer p.cbMu.Unlock()
+	if p.cbOpenAt.IsZero() {
+		return true
+	}
+	if time.Since(p.cbOpenAt) < p.svc.opts.CircuitCooldown {
+		return false
+	}
+	// Half-open: admit one probe; one more faulted solve re-opens.
+	p.cbOpenAt = time.Time{}
+	p.cbFails = th - 1
+	return true
+}
+
+// recordOutcome feeds the circuit breaker. Only solver faults count against
+// the key; context cancellations and spec errors say nothing about its
+// health, and a successful solve closes the window.
+func (p *keyPool) recordOutcome(err error) {
+	th := p.svc.opts.CircuitThreshold
+	if th <= 0 {
+		return
+	}
+	p.cbMu.Lock()
+	defer p.cbMu.Unlock()
+	switch {
+	case err == nil:
+		p.cbFails = 0
+	case errors.Is(err, core.ErrFaulted):
+		p.cbFails++
+		if p.cbFails >= th && p.cbOpenAt.IsZero() {
+			p.cbOpenAt = time.Now()
+		}
+	}
 }
 
 // ensureBuilt warms the pool's first session synchronously. Build failures
@@ -141,6 +191,9 @@ func (p *keyPool) build() (*core.Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Wire the fault injector (if any) into the session's world; a nil
+	// injector leaves every communication path bitwise identical.
+	w.Faults = o.Injector
 	sess, err := core.NewSession(ge.g, ge.op, d, w, opts)
 	if err != nil {
 		return nil, err
@@ -260,12 +313,12 @@ func (p *keyPool) runBatch(sess *core.Session, batch []*request) {
 			r.resp <- result{err: fmt.Errorf("serve: expired in queue: %w", context.Cause(r.ctx))}
 			continue
 		}
-		res, x, err := sess.SolveContext(r.ctx, r.key.Method, r.req.B, r.req.X0)
-		m.solves.Inc()
+		res, x, err := p.solveOnce(sess, r)
 		if err == nil && !res.Converged {
 			err = &core.NotConvergedError{
 				Solver: res.Solver, Iterations: res.Iterations, RelResidual: res.RelResidual}
 		}
+		p.recordOutcome(err)
 		if err != nil {
 			m.errors.Inc()
 			r.resp <- result{err: err}
@@ -276,4 +329,37 @@ func (p *keyPool) runBatch(sess *core.Session, batch []*request) {
 		copy(xc, x)
 		r.resp <- result{resp: Response{Result: res, X: xc}}
 	}
+}
+
+// solveOnce runs one request on the session. Without an injector this is a
+// plain SolveContext. With one, the solve runs resiliently (checkpointed,
+// retrying reductions, degraded-mode ladder) and a solve that still faults
+// beyond recovery is re-run up to the service retry budget — a fresh run
+// draws a disjoint slice of the fault schedule, so transient storms clear.
+func (p *keyPool) solveOnce(sess *core.Session, r *request) (core.Result, []float64, error) {
+	m := &p.svc.m
+	if p.svc.opts.Injector == nil {
+		res, x, err := sess.SolveContext(r.ctx, r.key.Method, r.req.B, r.req.X0)
+		m.solves.Inc()
+		return res, x, err
+	}
+	budget := p.svc.opts.RetryBudget
+	if budget < 0 {
+		budget = 0
+	}
+	res, x, err := sess.SolveResilient(r.ctx, r.key.Method, r.req.B, r.req.X0)
+	m.solves.Inc()
+	for attempt := 0; attempt < budget && err != nil && errors.Is(err, core.ErrFaulted); attempt++ {
+		m.retried.Inc()
+		res, x, err = sess.SolveResilient(r.ctx, r.key.Method, r.req.B, r.req.X0)
+		m.solves.Inc()
+		if err == nil {
+			m.recovered.Inc()
+			p.svc.opts.Injector.Recovered("request-retry")
+		}
+	}
+	if err != nil && errors.Is(err, core.ErrFaulted) {
+		m.faulted.Inc()
+	}
+	return res, x, err
 }

@@ -21,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/grid"
 	"repro/internal/obs"
 )
@@ -39,6 +41,11 @@ var (
 	// ErrClosed reports a request rejected because the service is
 	// draining or closed.
 	ErrClosed = errors.New("serve: service closed")
+	// ErrCircuitOpen reports a request rejected because its session key's
+	// circuit breaker is open: recent solves on the key faulted beyond
+	// recovery, and the service is quarantining the key until the cooldown
+	// elapses rather than burning sessions on a failing configuration.
+	ErrCircuitOpen = errors.New("serve: circuit open for session key")
 )
 
 // Options configures a Service. The zero value serves the default grid set
@@ -73,6 +80,25 @@ type Options struct {
 	GridProvider func(name string) (*grid.Grid, error)
 	// Registry receives the serve_* metrics; nil creates a private one.
 	Registry *obs.Registry
+
+	// Injector, when non-nil, is wired into every session's communication
+	// world: solves run under deterministic fault injection and the workers
+	// switch to resilient solving (core.Session.SolveResilient) with the
+	// retry budget below. Nil (the default) leaves the solve path bitwise
+	// identical to a service that never heard of fault injection.
+	Injector *faults.Injector
+	// RetryBudget is how many times a worker re-runs one request whose
+	// resilient solve still faulted beyond recovery (default 1, negative
+	// disables). Only consulted when Injector is set.
+	RetryBudget int
+	// CircuitThreshold opens a key's circuit breaker after this many
+	// consecutive faulted solves on the key; an open circuit sheds requests
+	// with ErrCircuitOpen until CircuitCooldown elapses, then admits one
+	// probe (half-open). 0 (the default) disables the breaker.
+	CircuitThreshold int
+	// CircuitCooldown is how long an open circuit quarantines its key
+	// (default 1s).
+	CircuitCooldown time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -94,6 +120,12 @@ func (o Options) withDefaults() Options {
 	if o.GridProvider == nil {
 		o.GridProvider = grid.ByName
 	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 1
+	}
+	if o.CircuitCooldown == 0 {
+		o.CircuitCooldown = time.Second
+	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
 	}
@@ -104,8 +136,11 @@ func (o Options) withDefaults() Options {
 // sessions. MethodCSI is normalized to MethodPCSI + PrecondIdentity before
 // keying, so "csi" and "pcsi/none" requests share a pool.
 type Key struct {
-	Grid    string
-	Method  core.Method
+	// Grid is the resolved preset name.
+	Grid string
+	// Method is the normalized solver algorithm.
+	Method core.Method
+	// Precond is the normalized preconditioner.
 	Precond core.PrecondType
 }
 
@@ -118,9 +153,11 @@ func (k Key) String() string {
 type Request struct {
 	// Grid names the preset the service should solve on ("test", "1deg", ...).
 	Grid string
-	// Method and Precond select the algorithm; zero values are ChronGear
-	// with diagonal preconditioning, POP's production configuration.
-	Method  core.Method
+	// Method selects the solver algorithm; the zero value is ChronGear,
+	// POP's production solver.
+	Method core.Method
+	// Precond selects the preconditioner; the zero value is diagonal,
+	// POP's default.
 	Precond core.PrecondType
 	// B is the right-hand side (length = grid N). X0 is the initial guess
 	// (nil = zero).
@@ -130,19 +167,26 @@ type Request struct {
 // Response is one completed solve. X is the caller's copy of the solution —
 // unlike core.Session solves, it is not invalidated by later requests.
 type Response struct {
+	// Result summarizes the solve (iterations, convergence, recovery
+	// counts, virtual-time statistics).
 	Result core.Result
-	X      []float64
+	// X is the solution vector (length = grid N).
+	X []float64
 }
 
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
-	Requests int64 // admissions attempted
-	Shed     int64 // rejected with ErrOverloaded
-	Expired  int64 // expired in queue before their solve started
-	Solves   int64 // solves executed
-	Batches  int64 // session checkouts (≤ Solves when coalescing works)
-	Errors   int64 // solves that returned an error
-	Sessions int64 // sessions built across all keys
+	Requests    int64 // admissions attempted
+	Shed        int64 // rejected with ErrOverloaded
+	Expired     int64 // expired in queue before their solve started
+	Solves      int64 // solves executed
+	Batches     int64 // session checkouts (≤ Solves when coalescing works)
+	Errors      int64 // solves that returned an error
+	Sessions    int64 // sessions built across all keys
+	Retried     int64 // request re-runs after a faulted resilient solve
+	Faulted     int64 // requests whose solve faulted beyond the retry budget
+	Recovered   int64 // requests rescued by a retry after a faulted solve
+	CircuitShed int64 // requests rejected with ErrCircuitOpen
 }
 
 // Service is the concurrent solve front end. Create with New, submit with
@@ -167,17 +211,21 @@ type Service struct {
 }
 
 type metrics struct {
-	requests  *obs.Counter
-	shed      *obs.Counter
-	expired   *obs.Counter
-	solves    *obs.Counter
-	batches   *obs.Counter
-	errors    *obs.Counter
-	sessions  *obs.Gauge
-	queueMax  *obs.Gauge
-	latency   *obs.Histogram
-	queueWait *obs.Histogram
-	batchSize *obs.Histogram
+	requests    *obs.Counter
+	shed        *obs.Counter
+	expired     *obs.Counter
+	solves      *obs.Counter
+	batches     *obs.Counter
+	errors      *obs.Counter
+	retried     *obs.Counter
+	faulted     *obs.Counter
+	recovered   *obs.Counter
+	circuitShed *obs.Counter
+	sessions    *obs.Gauge
+	queueMax    *obs.Gauge
+	latency     *obs.Histogram
+	queueWait   *obs.Histogram
+	batchSize   *obs.Histogram
 }
 
 // New builds a Service. No sessions are warmed until the first request for
@@ -191,14 +239,18 @@ func New(opts Options) *Service {
 		pools: make(map[Key]*keyPool),
 		grids: make(map[string]*gridEntry),
 		m: metrics{
-			requests: r.Counter("serve_requests_total", "solve admissions attempted"),
-			shed:     r.Counter("serve_shed_total", "requests shed with ErrOverloaded"),
-			expired:  r.Counter("serve_expired_total", "requests expired in queue before solving"),
-			solves:   r.Counter("serve_solves_total", "solves executed"),
-			batches:  r.Counter("serve_batches_total", "session checkouts (batches)"),
-			errors:   r.Counter("serve_errors_total", "solves returning an error"),
-			sessions: r.Gauge("serve_sessions", "warmed sessions across all keys"),
-			queueMax: r.Gauge("serve_queue_depth_peak", "deepest queue observed at admission"),
+			requests:    r.Counter("serve_requests_total", "solve admissions attempted"),
+			shed:        r.Counter("serve_shed_total", "requests shed with ErrOverloaded"),
+			expired:     r.Counter("serve_expired_total", "requests expired in queue before solving"),
+			solves:      r.Counter("serve_solves_total", "solves executed"),
+			batches:     r.Counter("serve_batches_total", "session checkouts (batches)"),
+			errors:      r.Counter("serve_errors_total", "solves returning an error"),
+			retried:     r.Counter("serve_retried_total", "request re-runs after a faulted solve"),
+			faulted:     r.Counter("serve_faulted_total", "requests faulted beyond the retry budget"),
+			recovered:   r.Counter("serve_recovered_total", "requests rescued by a retry"),
+			circuitShed: r.Counter("serve_circuit_shed_total", "requests rejected with ErrCircuitOpen"),
+			sessions:    r.Gauge("serve_sessions", "warmed sessions across all keys"),
+			queueMax:    r.Gauge("serve_queue_depth_peak", "deepest queue observed at admission"),
 			latency: r.Histogram("serve_latency_seconds", "request latency (admission to response)",
 				[]float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10}),
 			queueWait: r.Histogram("serve_queue_wait_seconds", "time between admission and solve start",
@@ -246,6 +298,10 @@ func (s *Service) Solve(ctx context.Context, req Request) (Response, error) {
 	p, err := s.pool(key)
 	if err != nil {
 		return Response{}, err
+	}
+	if !p.circuitAllow() {
+		s.m.circuitShed.Inc()
+		return Response{}, fmt.Errorf("serve: key %s quarantined: %w", key, ErrCircuitOpen)
 	}
 	// Warm the first session synchronously so build errors (unknown grid,
 	// bad options) surface here rather than poisoning the queue.
@@ -328,14 +384,31 @@ func (s *Service) pool(key Key) (*keyPool, error) {
 // Snapshot returns the current counter values.
 func (s *Service) Snapshot() Stats {
 	return Stats{
-		Requests: s.m.requests.Value(),
-		Shed:     s.m.shed.Value(),
-		Expired:  s.m.expired.Value(),
-		Solves:   s.m.solves.Value(),
-		Batches:  s.m.batches.Value(),
-		Errors:   s.m.errors.Value(),
-		Sessions: int64(s.m.sessions.Value()),
+		Requests:    s.m.requests.Value(),
+		Shed:        s.m.shed.Value(),
+		Expired:     s.m.expired.Value(),
+		Solves:      s.m.solves.Value(),
+		Batches:     s.m.batches.Value(),
+		Errors:      s.m.errors.Value(),
+		Sessions:    int64(s.m.sessions.Value()),
+		Retried:     s.m.retried.Value(),
+		Faulted:     s.m.faulted.Value(),
+		Recovered:   s.m.recovered.Value(),
+		CircuitShed: s.m.circuitShed.Value(),
 	}
+}
+
+// Grids returns the names of the grid presets the service has resolved so
+// far, sorted — the self-description surfaced by popserver's /stats.
+func (s *Service) Grids() []string {
+	s.gridMu.Lock()
+	defer s.gridMu.Unlock()
+	names := make([]string, 0, len(s.grids))
+	for name := range s.grids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Registry returns the metrics registry the service reports into.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/perfmodel"
@@ -65,6 +66,25 @@ type (
 	// a solve that stopped short of its tolerance; match with
 	// errors.As(err, &nc) or errors.Is(err, ErrNotConverged).
 	NotConvergedError = core.NotConvergedError
+
+	// FaultPlan configures deterministic fault injection: seeded per-class
+	// probabilities for stragglers, dropped/corrupted halos, failed
+	// reductions and rank crashes. The zero value injects nothing.
+	FaultPlan = faults.Plan
+	// FaultInjector draws the deterministic fault schedule a plan describes
+	// and counts injections and recoveries. Wire one into a SolverSpec or
+	// ServiceOptions; nil means no injection, bit for bit.
+	FaultInjector = faults.Injector
+	// FaultClass enumerates the injectable fault classes (see the Fault*
+	// constants).
+	FaultClass = faults.Class
+	// RecoveryInfo counts the recovery actions one resilient solve performed
+	// (checkpoint restores, reduction retries, recurrence restarts).
+	RecoveryInfo = core.RecoveryInfo
+	// FaultedError carries the recovery totals of a solve that faulted
+	// beyond its recovery budget; match with errors.As(err, &fe) or
+	// errors.Is(err, ErrFaulted).
+	FaultedError = core.FaultedError
 
 	// Service is the concurrent solve front end: a pool of warmed-up
 	// sessions served by batching workers behind bounded queues.
@@ -122,7 +142,33 @@ var (
 	ErrOverloaded = serve.ErrOverloaded
 	// ErrServiceClosed marks Service requests rejected during drain.
 	ErrServiceClosed = serve.ErrClosed
+	// ErrFaulted marks solves that failed beyond their recovery budget
+	// under fault injection; concrete errors carry a *FaultedError.
+	ErrFaulted = core.ErrFaulted
+	// ErrCircuitOpen marks Service requests shed because their session
+	// key's circuit breaker is open after consecutive faulted solves.
+	ErrCircuitOpen = serve.ErrCircuitOpen
 )
+
+// Injectable fault classes, in FaultPlan field order.
+const (
+	// FaultStraggler delays one rank's entry into a global reduction.
+	FaultStraggler = faults.Straggler
+	// FaultHaloDrop discards a rank's received halo strips for one phase.
+	FaultHaloDrop = faults.HaloDrop
+	// FaultHaloCorrupt NaN-poisons a received halo message.
+	FaultHaloCorrupt = faults.HaloCorrupt
+	// FaultReduceFail fails one global reduction on every rank at once.
+	FaultReduceFail = faults.ReduceFail
+	// FaultRankCrash loses one rank's solver state at a convergence check.
+	FaultRankCrash = faults.RankCrash
+)
+
+// NewFaultInjector builds a deterministic injector for the plan. Equal plans
+// replay equal fault schedules for equal operation sequences; injection and
+// recovery counts are readable via the injector's Injected and Recoveries
+// methods.
+func NewFaultInjector(plan FaultPlan) *FaultInjector { return faults.New(plan, nil) }
 
 // ParseMethod maps a method name ("chrongear", "pcg", "pipecg", "pcsi",
 // "csi"; "" = chrongear) to its Method; unknown names match ErrBadSpec.
@@ -190,15 +236,28 @@ type SolverSpec struct {
 	// size, Lanczos controls); zero values take defaults. Options.Precond
 	// is overwritten from Precond.
 	Options SolverOptions
+	// Faults, when non-nil, wires deterministic fault injection into the
+	// solver's communication world. Solves should then go through
+	// SolveResilient; a nil injector leaves every solve bitwise identical
+	// to a build without fault injection.
+	Faults *FaultInjector
 }
 
 // Solver bundles an operator, decomposition, communicator, and session.
 type Solver struct {
-	Spec    SolverSpec
-	G       *Grid
-	Op      *Operator
+	// Spec is the configuration NewSolver was given, after normalization
+	// (defaulted Tau, MethodCSI rewritten to MethodPCSI + PrecondIdentity).
+	Spec SolverSpec
+	// G is the grid the solver was built over.
+	G *Grid
+	// Op is the assembled nine-point operator.
+	Op *Operator
+	// Session is the underlying distributed solver session; it exposes the
+	// lower-level solve entry points and the solve arenas.
 	Session *core.Session
-	Cores   int
+	// Cores is the realized virtual rank count (one rank per ocean block,
+	// which can differ from SolverSpec.Cores after blocking).
+	Cores int
 }
 
 // NewSolver builds a distributed solver over g. Unknown methods and
@@ -252,6 +311,7 @@ func NewSolver(g *Grid, spec SolverSpec) (*Solver, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.Faults = spec.Faults
 	sess, err := core.NewSession(g, op, d, w, opts)
 	if err != nil {
 		return nil, err
@@ -274,6 +334,17 @@ func (s *Solver) Solve(b, x0 []float64) (Result, []float64, error) {
 // valid until the next solve on this solver.
 func (s *Solver) SolveContext(ctx context.Context, b, x0 []float64) (Result, []float64, error) {
 	return s.Session.SolveContext(ctx, s.Spec.Method, b, x0)
+}
+
+// SolveResilient is SolveContext under fault injection: solves checkpoint
+// at clean convergence checks, retry failed reductions, roll back on
+// crashes and corruption tripwires, and — for P-CSI — descend a degraded-mode
+// ladder (re-estimated eigenvalue bounds, then ChronGear) before giving up.
+// A solve that still fails beyond Options.MaxRecoveries returns an error
+// matching ErrFaulted; Result.Recovery counts what the machinery did.
+// Without an active injector this is exactly SolveContext.
+func (s *Solver) SolveResilient(ctx context.Context, b, x0 []float64) (Result, []float64, error) {
+	return s.Session.SolveResilient(ctx, s.Spec.Method, b, x0)
 }
 
 // EstimateEigenvalues exposes the Lanczos bounds estimation (P-CSI setup).

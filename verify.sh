@@ -9,6 +9,12 @@ cd "$(dirname "$0")"
 echo "== go vet =="
 go vet ./...
 
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"; echo "$unformatted"; exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -26,6 +32,22 @@ go test -race -count=1 \
 go test -race -count=1 \
     -run 'TestSteadyStateSolverAllocFree|TestPCSIResidualHistoryBitwiseDeterministic' \
     ./internal/core/
+
+echo "== doc coverage + examples =="
+# Every exported identifier of the public surface (pop, internal/serve,
+# internal/faults) must carry a doc comment, and the runnable Example*
+# functions must pass.
+go test -count=1 -run 'TestPublicSurfaceDocumented|Example' .
+
+echo "== chaos / resilience gates (race) =="
+# Fault injection must be bitwise invisible when disabled, every fault
+# class must recover, the degraded-mode ladder must engage, and the serve
+# layer must honor retry budgets and the circuit breaker — all under the
+# race detector.
+go test -race -count=1 \
+    -run 'TestInjectorDisabledBitwiseIdentical|Recovery$|TestRecoveryBudgetExhaustionFaults|TestLadder|TestChaosRunsDeterministic' \
+    ./internal/core/
+go test -race -count=1 -run 'TestServe' ./internal/serve/
 
 echo "== serve concurrency gates (race) =="
 # The serving-layer invariants: pooled concurrent solves stay bitwise
@@ -85,6 +107,11 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/solve" \
     -d '{"method":"warp","rhs":"smooth"}')
 [ "$code" = 400 ] || { echo "bad method gave $code, want 400"; exit 1; }
 curl -fs "http://$addr/metrics" | grep -q '^serve_solves_total'
+# /stats reports build + capability info alongside the counters.
+curl -fs "http://$addr/stats" > "$tmp/stats.json"
+grep -q '"go_version":"go' "$tmp/stats.json"
+grep -q '"grids":\[' "$tmp/stats.json"
+grep -q '"test"' "$tmp/stats.json"
 # SIGTERM drains gracefully and the process exits on its own.
 kill -TERM "$server_pid"
 for _ in $(seq 1 50); do
