@@ -14,7 +14,10 @@ import (
 // docPackages is the documented public surface: the facade package plus the
 // internal packages whose types it re-exports wholesale through aliases, so
 // their godoc IS the public godoc.
-var docPackages = []string{".", "internal/serve", "internal/faults"}
+var docPackages = []string{
+	".", "internal/serve", "internal/faults",
+	"internal/analysis", "internal/analysis/analyzertest",
+}
 
 // TestPublicSurfaceDocumented fails on any exported identifier in the public
 // surface that lacks a doc comment: package-level types, functions, methods

@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// CollectiveLockstep reports collective communication calls (comm.Rank's
+// AllReduce, AllReduceOverlap, Barrier, Exchange, ExchangeMulti) that are
+// reachable only under a branch conditioned on rank-local state.
+//
+// The SPMD contract (comm.World.Run) requires every rank to make collective
+// calls in the same program order, exactly as MPI does; a collective behind
+// `if somethingOnlyThisRankKnows { … }` deadlocks the ranks that skip it, or
+// silently misaligns the reduction sequence — the failure mode the paper's
+// P-CSI depends on never happening (one misordered global_sum and the
+// Chebyshev iteration is no longer comparing the same residual on every
+// rank). The analyzer computes, per function, the set of values tainted by
+// rank-local data — anything derived from the rank handle's own fields
+// (r.ID, r.Blocks, r.Clock(), …) — and reports collectives whose enclosing
+// if/for/switch/select conditions mention tainted values.
+//
+// Two escapes keep the rule aligned with the SPMD idioms the solvers use:
+//
+//   - Values produced by a collective, or by comm.Rank's documented
+//     lockstep accessors (ReduceFailed, ReduceSeq), are identical on every
+//     rank, so conditions on data derived from them (reduced residuals,
+//     shared convergence verdicts, crash flags that rode a reduction) are
+//     divergence-safe.
+//   - A helper receiving the whole *comm.Rank handle is trusted: the
+//     analyzer checks the helper's own body instead of tainting its
+//     results, so `g, n, ok := reduceRetry(r, …)` yields lockstep values
+//     (reduceRetry's internal branches are themselves analyzed).
+//
+// The comm package itself — the runtime that implements the collectives out
+// of channels — is exempt.
+var CollectiveLockstep = &analysis.Analyzer{
+	Name: "collectivelockstep",
+	Doc: "report collectives (AllReduce/Exchange/Barrier) guarded by rank-local conditions;" +
+		" collectives must be reached in lockstep on every rank",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCollectiveLockstep,
+}
+
+func runCollectiveLockstep(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Path() == commRankPath || !libraryScope(pass) {
+		return nil, nil
+	}
+	ig := newIgnorer(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || inTestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		tc := newTaintCtx(pass.TypesInfo)
+		tc.solve(fd.Body)
+		checkLockstep(pass, ig, tc, fd.Body)
+	})
+	return nil, nil
+}
+
+// libraryScope reports whether the pass is over a production (non-test)
+// package. Synthesized external test packages are skipped wholesale;
+// in-package test files are filtered per site by inTestFile.
+func libraryScope(pass *analysis.Pass) bool {
+	p := pass.Pkg.Path()
+	return !isTestPkgPath(p)
+}
+
+// checkLockstep walks body keeping the enclosing control-flow conditions,
+// and reports collective calls governed by a tainted (rank-local) one.
+func checkLockstep(pass *analysis.Pass, ig *ignorer, tc *taintCtx, body ast.Node) {
+	// guards is the stack of (condition, description) pairs governing the
+	// node currently being visited.
+	type guard struct {
+		cond ast.Expr
+		kind string
+	}
+	var guards []guard
+
+	var walk func(n ast.Node)
+	push := func(cond ast.Expr, kind string) { guards = append(guards, guard{cond, kind}) }
+	pop := func() { guards = guards[:len(guards)-1] }
+
+	walk = func(n ast.Node) {
+		switch x := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			if x.Init != nil {
+				walk(x.Init)
+			}
+			push(x.Cond, "if")
+			walk(x.Body)
+			if x.Else != nil {
+				walk(x.Else)
+			}
+			pop()
+		case *ast.ForStmt:
+			if x.Init != nil {
+				walk(x.Init)
+			}
+			if x.Cond != nil {
+				push(x.Cond, "for")
+			} else {
+				push(nil, "for")
+			}
+			if x.Post != nil {
+				walk(x.Post)
+			}
+			walk(x.Body)
+			pop()
+		case *ast.RangeStmt:
+			push(x.X, "range")
+			walk(x.Body)
+			pop()
+		case *ast.SwitchStmt:
+			if x.Init != nil {
+				walk(x.Init)
+			}
+			for _, stmt := range x.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				for _, c := range cc.List {
+					push(x.Tag, "switch")
+					push(c, "case")
+					for _, s := range cc.Body {
+						walk(s)
+					}
+					pop()
+					pop()
+				}
+				if len(cc.List) == 0 { // default clause: only the tag governs
+					push(x.Tag, "switch")
+					for _, s := range cc.Body {
+						walk(s)
+					}
+					pop()
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if x.Init != nil {
+				walk(x.Init)
+			}
+			push(nil, "type switch")
+			walk(x.Body)
+			pop()
+		case *ast.SelectStmt:
+			push(nil, "select")
+			walk(x.Body)
+			pop()
+		case *ast.CallExpr:
+			if name := rankMethodName(pass.TypesInfo, x); collectiveMethods[name] {
+				for _, g := range guards {
+					if g.kind == "select" {
+						ig.reportf(x.Pos(), "collective %s inside select: case choice is scheduling-dependent, ranks will diverge", name)
+						break
+					}
+					if g.cond != nil && tc.tainted(g.cond) {
+						ig.reportf(x.Pos(),
+							"collective %s is guarded by rank-local condition %q (%s); collectives must be reached in lockstep on every rank — condition only on data that rode a prior reduction",
+							name, types.ExprString(g.cond), g.kind)
+						break
+					}
+				}
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+			walk(x.Fun)
+		default:
+			// Generic traversal for everything without control-flow meaning.
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n {
+					return true
+				}
+				switch c.(type) {
+				case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+					*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.CallExpr:
+					walk(c)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walk(body)
+}
+
+// taintCtx tracks which local variables carry rank-local data within one
+// top-level function (nested function literals included: captured variables
+// share the same *types.Var objects, so taint flows into the SPMD program
+// closures the solvers pass to World.Run).
+type taintCtx struct {
+	info *types.Info
+	set  map[*types.Var]bool
+}
+
+func newTaintCtx(info *types.Info) *taintCtx {
+	return &taintCtx{info: info, set: make(map[*types.Var]bool)}
+}
+
+// solve runs the forward taint propagation to a fixpoint over body.
+func (tc *taintCtx) solve(body ast.Node) {
+	for range 32 {
+		if !tc.propagate(body) {
+			return
+		}
+	}
+}
+
+// propagate performs one pass over every assignment-like statement, marking
+// left-hand sides whose right-hand sides are tainted. Returns whether the
+// set grew.
+func (tc *taintCtx) propagate(body ast.Node) bool {
+	grew := false
+	mark := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return // writes through fields/indices do not track
+		}
+		obj := tc.info.Defs[id]
+		if obj == nil {
+			obj = tc.info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok && !tc.set[v] {
+			tc.set[v] = true
+			grew = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+				if tc.tainted(x.Rhs[0]) {
+					for _, l := range x.Lhs {
+						mark(l)
+					}
+				}
+				return true
+			}
+			for i, r := range x.Rhs {
+				if tc.tainted(r) {
+					mark(x.Lhs[i])
+				}
+			}
+		case *ast.RangeStmt:
+			if tc.tainted(x.X) {
+				if x.Key != nil {
+					mark(x.Key)
+				}
+				if x.Value != nil {
+					mark(x.Value)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range x.Values {
+				if tc.tainted(v) {
+					if len(x.Values) == len(x.Names) {
+						mark(x.Names[i])
+					} else {
+						for _, name := range x.Names {
+							mark(name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return grew
+}
+
+// tainted reports whether e mentions rank-local data: a field or
+// non-lockstep method of the rank handle, or a variable previously marked.
+func (tc *taintCtx) tainted(e ast.Expr) bool {
+	found := false
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name := rankMethodName(tc.info, x); name != "" &&
+				(collectiveMethods[name] || lockstepRankMethods[name]) {
+				return false // result is identical on every rank
+			}
+			// Trusted-helper rule: a bare rank handle passed whole does not
+			// taint the call (the helper's own body is analyzed); every
+			// other argument propagates.
+			for _, a := range x.Args {
+				if tc.isBareRank(a) {
+					continue
+				}
+				ast.Inspect(a, visit)
+			}
+			ast.Inspect(x.Fun, visit)
+			return false
+		case *ast.SelectorExpr:
+			if t := tc.info.TypeOf(x.X); t != nil && isRankType(t) {
+				name := x.Sel.Name
+				if name == "World" || collectiveMethods[name] || lockstepRankMethods[name] {
+					return false // shared world config / lockstep accessors
+				}
+				found = true // r.ID, r.Blocks, r.Clock, … — rank-local
+				return false
+			}
+			return true
+		case *ast.Ident:
+			if v, ok := tc.objOf(x).(*types.Var); ok && tc.set[v] {
+				found = true
+			}
+			return false
+		case *ast.FuncLit:
+			return false // the closure value itself is not data
+		}
+		return true
+	}
+	ast.Inspect(e, visit)
+	return found
+}
+
+// isBareRank reports whether e is a plain reference of type comm.Rank or
+// *comm.Rank (the whole handle, not data extracted from it).
+func (tc *taintCtx) isBareRank(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		t := tc.info.TypeOf(e)
+		return t != nil && isRankType(t)
+	}
+	return false
+}
+
+func (tc *taintCtx) objOf(id *ast.Ident) types.Object {
+	if o := tc.info.Uses[id]; o != nil {
+		return o
+	}
+	return tc.info.Defs[id]
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	poplint "repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, "testdata/ctxflow", poplint.CtxFlow, "ctxlib")
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	poplint "repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analyzertest.Run(t, "testdata/determinism", poplint.Determinism, "repro/internal/stencil")
+}
+
+// TestDeterminismOutOfScope checks the analyzer ignores packages outside the
+// deterministic-numerics set: the same violations under an unscoped path
+// produce no diagnostics. The lockstep testdata package imports nothing
+// nondeterministic, so reuse it as the out-of-scope probe.
+func TestDeterminismOutOfScope(t *testing.T) {
+	if msgs := analyzertest.Diagnostics(t, "testdata/collectivelockstep", poplint.Determinism, "lockstep"); len(msgs) != 0 {
+		t.Fatalf("determinism fired outside its scope: %q", msgs)
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	poplint "repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analyzertest.Run(t, "testdata/hotpathalloc", poplint.HotPathAlloc, "hotpath")
+}

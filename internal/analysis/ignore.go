@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ignoreDirective is the comment prefix that suppresses one poplint
+// diagnostic: `//poplint:ignore <analyzer> <reason>`. The reason is
+// mandatory — a suppression without a recorded justification is itself a
+// diagnostic. The directive silences the named analyzer on its own line and
+// on the line directly below it, covering both the standalone-line and
+// end-of-line comment styles.
+const ignoreDirective = "//poplint:ignore"
+
+// ignorer records which source lines have suppressed diagnostics for one
+// analyzer in one pass, and reports through that filter.
+type ignorer struct {
+	pass  *analysis.Pass
+	lines map[string]map[int]bool // filename → suppressed lines
+}
+
+// newIgnorer scans the pass's files for poplint:ignore directives naming
+// this pass's analyzer. Malformed directives (missing analyzer name or
+// reason) are reported immediately: a suppression that does not say what it
+// suppresses or why is rot waiting to happen.
+func newIgnorer(pass *analysis.Pass) *ignorer {
+	ig := &ignorer{pass: pass, lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreDirective))
+				if len(fields) < 2 {
+					pass.Reportf(c.Pos(), "malformed %s directive: want %q",
+						ignoreDirective, ignoreDirective+" <analyzer> <reason>")
+					continue
+				}
+				if fields[0] != pass.Analyzer.Name {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				if ig.lines[p.Filename] == nil {
+					ig.lines[p.Filename] = make(map[int]bool)
+				}
+				ig.lines[p.Filename][p.Line] = true
+				ig.lines[p.Filename][p.Line+1] = true
+			}
+		}
+	}
+	return ig
+}
+
+// reportf emits a diagnostic unless a directive suppresses it at pos.
+func (ig *ignorer) reportf(pos token.Pos, format string, args ...any) {
+	p := ig.pass.Fset.Position(pos)
+	if ig.lines[p.Filename][p.Line] {
+		return
+	}
+	ig.pass.Reportf(pos, format, args...)
+}
+
+// inTestFile reports whether pos lies in a _test.go file. The invariants
+// poplint enforces bind production code; tests deliberately use rand
+// fixtures, wall clocks, and ad-hoc errors.
+func inTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	poplint "repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+// TestMalformedIgnoreDirective checks that a //poplint:ignore directive
+// missing its analyzer name or reason is itself reported: suppressions must
+// record what they silence and why. The diagnostic lands on the directive's
+// own line, which cannot also carry a // want comment, so this asserts on
+// the raw diagnostics instead of a want file.
+func TestMalformedIgnoreDirective(t *testing.T) {
+	msgs := analyzertest.Diagnostics(t, "testdata/ignore", poplint.HotPathAlloc, "ignorecase")
+	if len(msgs) != 1 {
+		t.Fatalf("want exactly one diagnostic for the malformed directive, got %d: %q", len(msgs), msgs)
+	}
+	if !strings.Contains(msgs[0], "malformed") {
+		t.Fatalf("diagnostic does not flag the malformed directive: %q", msgs[0])
+	}
+}

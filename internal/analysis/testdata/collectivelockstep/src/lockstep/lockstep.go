@@ -1,0 +1,79 @@
+// Package lockstep exercises the collectivelockstep analyzer: collectives
+// guarded by rank-local conditions are diagnosed; conditions derived from
+// reductions, lockstep accessors, world config, or trusted helpers are not.
+package lockstep
+
+import "repro/internal/comm"
+
+func badIDGuard(r *comm.Rank) {
+	if r.ID == 0 {
+		r.Barrier() // want `guarded by rank-local condition`
+	}
+}
+
+func badDerivedBound(r *comm.Rank, fields [][]float64) {
+	nb := len(r.Blocks)
+	for i := 0; i < nb; i++ {
+		r.Exchange(fields) // want `guarded by rank-local condition`
+	}
+}
+
+func badClockGuard(r *comm.Rank, payload []float64) {
+	if r.Clock() > 10 {
+		_ = r.AllReduce(payload) // want `guarded by rank-local condition`
+	}
+}
+
+func badRangeOverLocal(r *comm.Rank, fields [][]float64) {
+	for range r.Blocks {
+		r.Exchange(fields) // want `guarded by rank-local condition`
+	}
+}
+
+func badSelect(r *comm.Rank, ch chan int) {
+	select {
+	case <-ch:
+		r.Barrier() // want `inside select`
+	default:
+	}
+}
+
+func goodReducedVerdict(r *comm.Rank, payload []float64, fields [][]float64) {
+	g := r.AllReduce(payload)
+	if g[0] > 0 { // reduced value: identical on every rank
+		r.Exchange(fields)
+	}
+	for r.ReduceFailed() { // lockstep accessor
+		g = r.AllReduce(payload)
+	}
+	if r.World.NRank > 1 { // shared world config
+		r.Barrier()
+	}
+	_ = g
+}
+
+func goodTrustedHelper(r *comm.Rank, payload []float64) {
+	g, ok := reduceHelper(r, payload)
+	if ok { // helper got the bare rank handle: its results are lockstep
+		r.Barrier()
+	}
+	_ = g
+}
+
+func reduceHelper(r *comm.Rank, payload []float64) ([]float64, bool) {
+	g := r.AllReduce(payload)
+	return g, g[0] > 0
+}
+
+func goodFixedBound(r *comm.Rank, payload []float64, iters int) {
+	for k := 0; k < iters; k++ { // caller-shared bound
+		_ = r.AllReduce(payload)
+	}
+}
+
+func suppressed(r *comm.Rank) {
+	if r.ID == 0 {
+		//poplint:ignore collectivelockstep single-rank diagnostic path exercised by the harness
+		r.Barrier()
+	}
+}

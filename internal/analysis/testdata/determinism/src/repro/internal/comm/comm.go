@@ -1,0 +1,9 @@
+// Package comm is a testdata stand-in exposing one collective so the
+// determinism analyzer's map-range collective check can resolve it.
+package comm
+
+// Rank mirrors the per-rank handle.
+type Rank struct{}
+
+// Barrier is a collective.
+func (r *Rank) Barrier() {}

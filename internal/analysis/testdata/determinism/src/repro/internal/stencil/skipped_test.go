@@ -1,0 +1,8 @@
+package stencil
+
+import "time"
+
+// Test files are exempt: fixtures may read wall clocks freely.
+func testOnlyClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,76 @@
+// Package stencil exercises the determinism analyzer inside one of its
+// scoped package paths: wall clocks, math/rand, map-order float
+// accumulation, and goroutine-order accumulation are diagnosed; integer
+// map-range counting and slice-ordered sums are not.
+package stencil
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/comm"
+)
+
+func badWallClock() int64 {
+	t0 := time.Now() // want `wall-clock read`
+	return t0.Unix()
+}
+
+func badRand() float64 {
+	return rand.Float64() // want `math/rand`
+}
+
+func badMapAccum(m map[int][]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map-range body writes floating-point`
+		sum += v[0]
+	}
+	return sum
+}
+
+func badMapCollective(r *comm.Rank, m map[int]bool) {
+	for range m { // want `map-range body reaches collective`
+		r.Barrier()
+	}
+}
+
+func badGoAccum(xs [][]float64, done chan struct{}) float64 {
+	var total float64
+	for i := range xs {
+		x := xs[i]
+		go func() {
+			total += x[0] // want `goroutine writes captured floating-point`
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return total
+}
+
+func goodMapCount(m map[string]int64) int64 {
+	var n int64
+	for _, v := range m { // integer counting: order-independent
+		n += v
+	}
+	return n
+}
+
+func goodSortedSum(keys []string, m map[string]float64) float64 {
+	var s float64
+	for _, k := range keys { // slice range fixes the order
+		s += m[k]
+	}
+	return s
+}
+
+func goodGoLocal(xs []float64, out chan float64) {
+	go func() {
+		local := 0.0 // goroutine-local accumulator, merged via channel
+		for _, v := range xs {
+			local += v
+		}
+		out <- local
+	}()
+}

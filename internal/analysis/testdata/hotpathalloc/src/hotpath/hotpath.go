@@ -1,0 +1,113 @@
+// Package hotpath exercises the hotpathalloc analyzer: every allocation
+// shape inside a //pop:hotpath function is diagnosed; the cap-guarded
+// amortized-growth idiom, constant interface data, and unannotated
+// functions are not.
+package hotpath
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+type point struct{ x, y float64 }
+
+// badMake allocates a fresh slice per call.
+//
+//pop:hotpath
+func badMake(n int) []float64 {
+	return make([]float64, n) // want `make in hot path`
+}
+
+// badAppend may grow its destination.
+//
+//pop:hotpath
+func badAppend(dst []float64, v float64) []float64 {
+	return append(dst, v) // want `append in hot path`
+}
+
+// badNew heap-allocates a point.
+//
+//pop:hotpath
+func badNew() *point {
+	return new(point) // want `new in hot path`
+}
+
+// badFmt formats inside the iteration.
+//
+//pop:hotpath
+func badFmt(x float64) string {
+	return fmt.Sprintf("%v", x) // want `fmt.Sprintf in hot path`
+}
+
+// badBox converts a float into an interface.
+//
+//pop:hotpath
+func badBox(x float64) {
+	sink(x) // want `boxes a float64 into an interface`
+}
+
+// badClosure captures its parameter.
+//
+//pop:hotpath
+func badClosure(xs []float64) func() {
+	return func() { xs[0] = 1 } // want `capturing closure`
+}
+
+// badConcat builds a string.
+//
+//pop:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+// badSliceLit allocates a backing array.
+//
+//pop:hotpath
+func badSliceLit() []int {
+	return []int{1, 2} // want `slice literal`
+}
+
+// badMapLit allocates a map.
+//
+//pop:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal`
+}
+
+// badPtrLit escapes a composite to the heap.
+//
+//pop:hotpath
+func badPtrLit() *point {
+	return &point{} // want `&composite-literal`
+}
+
+// goodGrow is the sanctioned amortized-growth idiom: the make runs only on
+// first use, never in the steady state.
+//
+//pop:hotpath
+func goodGrow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// goodKernel is a pure in-place update.
+//
+//pop:hotpath
+func goodKernel(dst, src []float64, a float64) {
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+// goodConstBox passes a constant: static interface data, no allocation.
+//
+//pop:hotpath
+func goodConstBox() {
+	sink("steady")
+}
+
+// coldPath is unannotated: anything goes.
+func coldPath(n int) []float64 {
+	return make([]float64, n)
+}

@@ -1,0 +1,6 @@
+// Package ignorecase holds a malformed suppression directive: it names no
+// analyzer and records no reason, so the ignorer reports it outright.
+package ignorecase
+
+//poplint:ignore
+func harmless() int { return 1 }

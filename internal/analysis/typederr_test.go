@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	poplint "repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func TestTypedErr(t *testing.T) {
+	analyzertest.Run(t, "testdata/typederr", poplint.TypedErr, "repro/internal/serve")
+}

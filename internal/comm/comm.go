@@ -160,6 +160,8 @@ type haloMsg struct {
 // buffers persist per rank and are hammered concurrently, and two sub-line
 // buffers of different ranks sharing a line would ping-pong it between
 // cores on every reduction.
+//
+//pop:hotpath
 func grow(buf *[]float64, n int) []float64 {
 	if cap(*buf) < n {
 		c := n

@@ -145,6 +145,8 @@ func (w *World) buildPlans() {
 // Exchange refreshes the halos of one distributed field. fields[i] is the
 // padded local array for r.Blocks[i]. Collective: every rank must call
 // Exchange in the same program order.
+//
+//pop:hotpath
 func (r *Rank) Exchange(fields [][]float64) {
 	r.multi[0] = fields
 	r.ExchangeMulti(r.multi[:])
@@ -156,6 +158,8 @@ func (r *Rank) Exchange(fields [][]float64) {
 // message carrying every level's strip, paying the latency α once and the
 // bandwidth β per level — exactly how POP aggregates its 3-D halo updates.
 // levels[L][i] is level L's padded array for r.Blocks[i].
+//
+//pop:hotpath
 func (r *Rank) ExchangeMulti(levels [][][]float64) {
 	for _, fields := range levels {
 		if len(fields) != len(r.Blocks) {
@@ -170,6 +174,8 @@ func (r *Rank) ExchangeMulti(levels [][][]float64) {
 // (non-blocking: the data channels hold one message and each edge carries
 // exactly one per phase), then same-rank direct copies (free in the cost
 // model: intra-node), then receives.
+//
+//pop:hotpath
 func (r *Rank) exchangePhase(levels [][][]float64, phase int) {
 	w := r.World
 	h := w.D.Halo
@@ -284,6 +290,8 @@ func opposite(side int) int {
 // the given side needs. E/W strips cover interior rows only; N/S strips span
 // the full padded width so corners propagate (two-phase scheme). "side" is
 // the side of THIS block from which data leaves.
+//
+//pop:hotpath
 func extractStripInto(s, f []float64, nxi, nyi, h, side int) {
 	nxp := nxi + 2*h
 	switch side {
@@ -309,6 +317,8 @@ func extractStripInto(s, f []float64, nxi, nyi, h, side int) {
 
 // insertStrip writes a received strip into the halo on the given side of
 // this block.
+//
+//pop:hotpath
 func insertStrip(f []float64, nxi, nyi, h, side int, s []float64) {
 	nxp := nxi + 2*h
 	switch side {
@@ -337,6 +347,8 @@ func insertStrip(f []float64, nxi, nyi, h, side int, s []float64) {
 // intermediate strip is materialized. The source data comes from the
 // opposite(side) edge of the neighbour, exactly as extractStripInto followed
 // by insertStrip would move it.
+//
+//pop:hotpath
 func copyStrip(dst []float64, dnxi, dnyi int, src []float64, snxi, snyi, h, side int) {
 	dnxp := dnxi + 2*h
 	snxp := snxi + 2*h

@@ -44,6 +44,8 @@ import (
 // returned slice's documented lifetime. Every hand-off in that chain is a
 // channel operation, so the ordering is a happens-before edge, not just a
 // timing argument.
+//
+//pop:hotpath
 func (r *Rank) AllReduce(vals []float64) []float64 {
 	w := r.World
 	p := w.NRank
@@ -144,6 +146,8 @@ func (r *Rank) Barrier() { r.AllReduce(nil) }
 // at max(reduction completion, own clock + compute time). The caller must
 // perform the overlapped arithmetic right after this returns, without
 // charging it again through AddFlops.
+//
+//pop:hotpath
 func (r *Rank) AllReduceOverlap(vals []float64, overlapFlops int64) []float64 {
 	w := r.World
 	entry := r.clock

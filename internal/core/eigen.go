@@ -152,7 +152,7 @@ func (s *Session) EstimateEigenvalues(b []float64, maxSteps int) (nu, mu float64
 		return 0, 0, 0, failure
 	}
 	if nSteps == 0 {
-		return 0, 0, 0, fmt.Errorf("core: Lanczos produced no steps")
+		return 0, 0, 0, fmt.Errorf("core: Lanczos produced no steps: %w", ErrEigEstimate)
 	}
 	s.Nu = lastNu * s.Opts.EigSafetyLow
 	s.Mu = lastMu * s.Opts.EigSafetyHigh

@@ -23,6 +23,12 @@ var (
 	// iteration count and final residual.
 	ErrNotConverged = errors.New("solver did not converge")
 
+	// ErrEigEstimate marks a failed Chebyshev-bound estimation: the Lanczos
+	// process terminated before producing a single usable step, so P-CSI has
+	// no interval [ν, μ] to iterate on. Distinct from ErrBadSpec (the inputs
+	// were plausible) and from ErrNotConverged (no solve was attempted).
+	ErrEigEstimate = errors.New("eigenvalue estimation produced no bounds")
+
 	// ErrFaulted marks solves that injected (or real) faults pushed beyond
 	// the resilience machinery's recovery budget: a reduction that kept
 	// failing past the bounded retry limit, or more checkpoint rollbacks

@@ -72,6 +72,7 @@ type Preconditioner interface {
 // identityPrecond copies the interior.
 type identityPrecond struct{ loc *stencil.Local }
 
+//pop:hotpath
 func (p *identityPrecond) Apply(dst, src []float64) {
 	nx := p.loc.NxP
 	h := p.loc.H
@@ -98,6 +99,7 @@ func newDiagPrecond(loc *stencil.Local) *diagPrecond {
 	return &diagPrecond{loc: loc, inv: inv}
 }
 
+//pop:hotpath
 func (p *diagPrecond) Apply(dst, src []float64) {
 	nx := p.loc.NxP
 	h := p.loc.H
@@ -234,6 +236,7 @@ func splitSub(sb subBlock) []subBlock {
 	}
 }
 
+//pop:hotpath
 func (p *evpPrecond) Apply(dst, src []float64) {
 	loc := p.loc
 	nxp, h := loc.NxP, loc.H
@@ -334,6 +337,7 @@ var nineOffsets = [9][2]int{
 	{-1, 1}, {0, 1}, {1, 1},
 }
 
+//pop:hotpath
 func (p *bluPrecond) Apply(dst, src []float64) {
 	loc := p.loc
 	nxp, h := loc.NxP, loc.H

@@ -14,6 +14,8 @@ import "repro/internal/stencil"
 
 // residual computes r = b − A·x on the interior (fused; charged as one
 // stencil application). x must have valid ring-1 halos.
+//
+//pop:hotpath
 func residual(loc *stencil.Local, r, b, x []float64) {
 	nx := loc.NxP
 	h := loc.H
@@ -51,6 +53,8 @@ func residual(loc *stencil.Local, r, b, x []float64) {
 }
 
 // xpay computes dst = x + a·dst on the interior (ChronGear's s/p updates).
+//
+//pop:hotpath
 func xpay(loc *stencil.Local, dst, x []float64, a float64) {
 	nx := loc.NxP
 	h := loc.H
@@ -66,6 +70,8 @@ func xpay(loc *stencil.Local, dst, x []float64, a float64) {
 }
 
 // axpy computes dst += a·x on the interior.
+//
+//pop:hotpath
 func axpy(loc *stencil.Local, dst, x []float64, a float64) {
 	nx := loc.NxP
 	h := loc.H
@@ -82,6 +88,8 @@ func axpy(loc *stencil.Local, dst, x []float64, a float64) {
 
 // chebUpdate computes dx = ω·rp + c·dx on the interior (P-CSI line 7;
 // charged as two vector operations).
+//
+//pop:hotpath
 func chebUpdate(loc *stencil.Local, dx, rp []float64, omega, c float64) {
 	nx := loc.NxP
 	h := loc.H

@@ -31,6 +31,8 @@ func (l *Local) InteriorLen() int { return l.NxI() * l.NyI() }
 // length so the compiler's prove pass eliminates every bounds check (the
 // neighbour windows exist because H ≥ 1 keeps the ±(nx+1) reach inside the
 // padded array); confirm with go build -gcflags=-d=ssa/check_bce.
+//
+//pop:hotpath
 func (l *Local) Apply(y, x []float64) {
 	nx := l.NxP
 	if len(x) != nx*l.NyP || len(y) != nx*l.NyP {
@@ -74,6 +76,8 @@ func (l *Local) Apply(y, x []float64) {
 // the cache once instead of twice. The accumulation visits points in the
 // same row-major order as Apply followed by MaskedDotInterior(x, y), so the
 // result is bitwise identical to the unfused pair.
+//
+//pop:hotpath
 func (l *Local) ApplyAndMaskedDot(y, x []float64) float64 {
 	nx := l.NxP
 	if len(x) != nx*l.NyP || len(y) != nx*l.NyP {
@@ -124,6 +128,8 @@ func (l *Local) ApplyFlops() int64 { return 9 * int64(l.InteriorLen()) }
 
 // MaskedDotInterior returns Σ x[k]·y[k] over owned ocean points — the
 // rank-local part of a masked global reduction.
+//
+//pop:hotpath
 func (l *Local) MaskedDotInterior(x, y []float64) float64 {
 	var s float64
 	nx := l.NxP

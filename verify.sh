@@ -18,6 +18,15 @@ fi
 echo "== go build =="
 go build ./...
 
+echo "== poplint static analysis =="
+# The repo's own analyzer suite (SPMD lockstep, determinism, hot-path
+# allocation, ctx flow, typed errors — see DESIGN.md §10) must run clean:
+# go vet exits nonzero on any diagnostic.
+poplint_tmp=$(mktemp -d)
+go build -o "$poplint_tmp/poplint" ./cmd/poplint
+go vet -vettool="$poplint_tmp/poplint" ./...
+rm -rf "$poplint_tmp"
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -35,8 +44,8 @@ go test -race -count=1 \
 
 echo "== doc coverage + examples =="
 # Every exported identifier of the public surface (pop, internal/serve,
-# internal/faults) must carry a doc comment, and the runnable Example*
-# functions must pass.
+# internal/faults, internal/analysis and its test harness) must carry a doc
+# comment, and the runnable Example* functions must pass.
 go test -count=1 -run 'TestPublicSurfaceDocumented|Example' .
 
 echo "== chaos / resilience gates (race) =="
