@@ -41,6 +41,7 @@ func main() {
 		serveLoad = flag.Bool("serve", false, "load-test the concurrent solve service, write BENCH_serve.json")
 		serveSec  = flag.Float64("servesec", 3, "closed-loop duration for -serve (seconds)")
 		serveCli  = flag.Int("serveclients", 8, "closed-loop client count for -serve")
+		perfetto  = flag.String("perfetto", "", "with -serve: write a Perfetto trace export of the load phase here (feed to cmd/poptrace)")
 		chaos     = flag.Bool("chaos", false, "fault-injection closed loop per fault class, write BENCH_chaos.json")
 		chaosSec  = flag.Float64("chaossec", 2, "closed-loop duration per -chaos phase (seconds)")
 		chaosCli  = flag.Int("chaosclients", 8, "closed-loop client count for -chaos")
@@ -53,7 +54,7 @@ func main() {
 		return
 	}
 	if *serveLoad {
-		if err := runServeBench(*reportDir, *serveSec, *serveCli, os.Stdout); err != nil {
+		if err := runServeBench(*reportDir, *serveSec, *serveCli, *perfetto, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -68,17 +68,23 @@ const targetServeRate = 200
 // runServeBench drives the in-process solve service: a closed-loop
 // throughput phase on the test grid (pcsi+evp, the paper's fast path),
 // then an overload phase that forces load shedding. The report lands in
-// dir/BENCH_serve.json (dir "" = current directory).
-func runServeBench(dir string, seconds float64, clients int, out io.Writer) error {
+// dir/BENCH_serve.json (dir "" = current directory). A non-empty
+// perfettoPath enables rank-level tracing during the load phase and writes
+// its Perfetto export there for cmd/poptrace.
+func runServeBench(dir string, seconds float64, clients int, perfettoPath string, out io.Writer) error {
 	const (
 		gridName = "test"
 		method   = pop.MethodPCSI
 		precond  = pop.PrecondEVP
 	)
-	svc := pop.NewService(pop.ServiceOptions{
+	opts := pop.ServiceOptions{
 		Cores:             4,
 		MaxSessionsPerKey: 2,
-	})
+	}
+	if perfettoPath != "" {
+		opts.TraceCapacity = 1 << 14
+	}
+	svc := pop.NewService(opts)
 	defer closeService(svc)
 
 	g, err := pop.NewGrid(gridName)
@@ -130,6 +136,21 @@ func runServeBench(dir string, seconds float64, clients int, out io.Writer) erro
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 	snap := svc.Snapshot()
+
+	if perfettoPath != "" {
+		f, err := os.Create(perfettoPath)
+		if err != nil {
+			return err
+		}
+		if err := svc.WritePerfetto(f); err != nil {
+			f.Close()
+			return fmt.Errorf("perfetto export: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# serve: perfetto trace %s\n", perfettoPath)
+	}
 
 	rep := serveReport{
 		Name:      "serve",

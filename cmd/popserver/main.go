@@ -10,14 +10,24 @@
 //
 // Endpoints:
 //
-//	POST /solve    JSON solve request (see solveRequest)
-//	GET  /healthz  200 while serving, 503 while draining
-//	GET  /metrics  Prometheus text exposition of the serve_* metrics
-//	GET  /stats    JSON counter snapshot
+//	POST /solve        JSON solve request (see solveRequest)
+//	GET  /healthz      200 while serving, 503 while draining
+//	GET  /metrics      Prometheus text exposition of the serve_* metrics
+//	GET  /stats        JSON counter snapshot
+//	GET  /debug/trace  Perfetto/Chrome trace-event JSON of every session's
+//	                   rank-level spans plus the recent request records —
+//	                   load in ui.perfetto.dev or feed to cmd/poptrace
+//	GET  /debug/flight JSON flight-recorder snapshot (trigger count +
+//	                   recent request records)
+//
+// Every request carries a trace ID (client-supplied via "trace_id" or
+// assigned at admission) correlating its response with its rank-level spans
+// in the trace export. The always-on flight recorder dumps incidents
+// (faulted solves, circuit opening, -slo breaches) to -flightdir.
 //
 // SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503, the
 // listener stops accepting work, queued solves finish, then the process
-// exits.
+// exits — after writing a final Perfetto export to -traceout when set.
 package main
 
 import (
@@ -54,6 +64,11 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 		circuit   = flag.Int("circuit", 0, "open a key's circuit breaker after this many consecutive faulted solves (0 = off)")
 		cooldown  = flag.Duration("cooldown", time.Second, "how long an open circuit quarantines its key")
+		tracecap  = flag.Int("tracecap", 4096, "per-rank trace ring capacity (0 = rank-level tracing off)")
+		traceout  = flag.String("traceout", "", "write a Perfetto trace export here on shutdown")
+		flightdir = flag.String("flightdir", "", "directory for flight-recorder incident dumps (\"\" = in-memory only)")
+		flightlen = flag.Int("flightring", 0, "flight-recorder ring capacity (0 = default)")
+		slo       = flag.Duration("slo", 0, "per-request latency SLO; breaches dump the flight recorder (0 = off)")
 	)
 	flag.Parse()
 	obs.ServePprof(*pprofAddr)
@@ -67,6 +82,10 @@ func main() {
 		MaxWait:           *wait,
 		CircuitThreshold:  *circuit,
 		CircuitCooldown:   *cooldown,
+		TraceCapacity:     *tracecap,
+		FlightRing:        *flightlen,
+		FlightDir:         *flightdir,
+		LatencySLO:        *slo,
 	})
 	h := &handler{svc: svc}
 
@@ -75,6 +94,8 @@ func main() {
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /debug/trace", h.trace)
+	mux.HandleFunc("GET /debug/flight", h.flight)
 	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	done := make(chan struct{})
@@ -91,6 +112,13 @@ func main() {
 		}
 		if err := svc.Close(ctx); err != nil {
 			log.Printf("popserver: drain incomplete: %v", err)
+		}
+		if *traceout != "" {
+			if err := writeTrace(svc, *traceout); err != nil {
+				log.Printf("popserver: trace export: %v", err)
+			} else {
+				log.Printf("popserver: trace written to %s", *traceout)
+			}
 		}
 		close(done)
 	}()
@@ -115,6 +143,9 @@ type solveRequest struct {
 	X0        []float64 `json:"x0,omitempty"`
 	TimeoutMS int       `json:"timeout_ms,omitempty"`
 	ReturnX   bool      `json:"return_x,omitempty"`
+	// TraceID lets the client supply its own request-scoped trace ID
+	// (e.g. propagated from an upstream system); 0 assigns a fresh one.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 type solveResponse struct {
@@ -123,6 +154,7 @@ type solveResponse struct {
 	RelResidual float64   `json:"rel_residual"`
 	Solver      string    `json:"solver"`
 	ElapsedMS   float64   `json:"elapsed_ms"`
+	TraceID     uint64    `json:"trace_id"`
 	X           []float64 `json:"x,omitempty"`
 }
 
@@ -172,6 +204,9 @@ func (h *handler) solve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	if req.TraceID != 0 {
+		ctx = obs.ContextWithTraceID(ctx, req.TraceID)
+	}
 	start := time.Now()
 	resp, err := h.svc.Solve(ctx, pop.ServeRequest{
 		Grid: req.Grid, Method: method, Precond: precond, B: b, X0: req.X0,
@@ -186,6 +221,7 @@ func (h *handler) solve(w http.ResponseWriter, r *http.Request) {
 		RelResidual: resp.Result.RelResidual,
 		Solver:      resp.Result.Solver,
 		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1e3,
+		TraceID:     resp.TraceID,
 	}
 	if req.ReturnX {
 		out.X = resp.X
@@ -279,6 +315,39 @@ func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
 		GoVersion:    runtime.Version(),
 		Grids:        h.svc.Grids(),
 	})
+}
+
+// trace serves the live Perfetto export: every session's rank-level spans
+// plus the recent request records, loadable in ui.perfetto.dev.
+func (h *handler) trace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := h.svc.WritePerfetto(w); err != nil {
+		log.Printf("popserver: trace export: %v", err)
+	}
+}
+
+// flightResponse is the GET /debug/flight body.
+type flightResponse struct {
+	Dumps  int64               `json:"dumps"`
+	Recent []obs.RequestRecord `json:"recent"`
+}
+
+func (h *handler) flight(w http.ResponseWriter, _ *http.Request) {
+	fr := h.svc.Flight()
+	writeJSON(w, http.StatusOK, flightResponse{Dumps: fr.Dumps(), Recent: fr.Recent()})
+}
+
+// writeTrace writes the shutdown Perfetto export to path.
+func writeTrace(svc *pop.Service, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := svc.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -15,7 +15,7 @@ import (
 // internal packages whose types it re-exports wholesale through aliases, so
 // their godoc IS the public godoc.
 var docPackages = []string{
-	".", "internal/serve", "internal/faults",
+	".", "internal/serve", "internal/faults", "internal/obs",
 	"internal/analysis", "internal/analysis/analyzertest",
 }
 

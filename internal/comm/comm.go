@@ -106,6 +106,10 @@ type World struct {
 	// pointer/branch check per phase.
 	Faults *faults.Injector
 
+	// traceID is the request-scoped trace ID stamped onto every rank trace
+	// at Run entry (see SetTraceID).
+	traceID uint64
+
 	// faultEpoch counts Run invocations on this world. Each run salts its
 	// fault-draw sequence numbers with the epoch (see Run), so successive
 	// solves on one session draw disjoint slices of the injector's schedule
@@ -378,6 +382,17 @@ func (s *Stats) Breakdown() (comp, halo, reduce PhaseStat) {
 	return
 }
 
+// SetTraceID sets the request-scoped trace ID for subsequent Runs: each run
+// stamps it onto every rank's trace buffer before the run's first event, so
+// all rank-level spans of the run carry the ID of the serve request the run
+// is working for (0 — the default — marks runs not tied to a request). The
+// caller owning the world sets it between solves; it must not be called
+// while a Run is in flight.
+func (w *World) SetTraceID(id uint64) { w.traceID = id }
+
+// TraceID returns the world's current request-scoped trace ID.
+func (w *World) TraceID() uint64 { return w.traceID }
+
 // Run executes program on every rank concurrently and returns aggregated
 // statistics. Programs must make collective calls (AllReduce, Exchange,
 // Barrier) in the same order on every rank, exactly as MPI requires.
@@ -396,6 +411,7 @@ func (w *World) Run(program func(*Rank)) Stats {
 		ranks[rid] = &Rank{ID: rid, World: w, Blocks: blocks, faultBase: base}
 		if w.Tracer.Enabled() {
 			ranks[rid].trace = w.Tracer.Rank(rid)
+			ranks[rid].trace.SetTraceID(w.traceID)
 			ranks[rid].trace.Add(obs.Event{Name: obs.EvRunBegin, Point: true,
 				Value: float64(w.NRank), Iter: -1, Straggler: -1})
 		}

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // Method selects the barotropic solver algorithm. The zero value is
@@ -99,6 +101,11 @@ func ParsePrecond(s string) (PrecondType, error) {
 // residual history of a cancelled solve is a bitwise prefix of the
 // uncancelled one. The returned solution slice is the session's reusable
 // output arena, valid until the next solve on this session.
+//
+// When ctx carries a request-scoped trace ID (obs.ContextWithTraceID), the
+// solve adopts it: the session world's ID is set before dispatch, so every
+// rank-level span the solve emits — and the returned Result — carries the
+// request's ID.
 func (s *Session) SolveContext(ctx context.Context, m Method, b, x0 []float64) (Result, []float64, error) {
 	if len(b) != s.G.N() {
 		return Result{}, nil, fmt.Errorf("core: rhs length %d, want %d: %w", len(b), s.G.N(), ErrBadSpec)
@@ -108,16 +115,26 @@ func (s *Session) SolveContext(ctx context.Context, m Method, b, x0 []float64) (
 	} else if len(x0) != s.G.N() {
 		return Result{}, nil, fmt.Errorf("core: x0 length %d, want %d: %w", len(x0), s.G.N(), ErrBadSpec)
 	}
+	if id := obs.TraceIDFromContext(ctx); id != 0 {
+		s.W.SetTraceID(id)
+	}
+	var (
+		res Result
+		x   []float64
+		err error
+	)
 	switch m {
 	case MethodChronGear:
-		return s.SolveChronGearContext(ctx, b, x0)
+		res, x, err = s.SolveChronGearContext(ctx, b, x0)
 	case MethodPCG:
-		return s.SolvePCGContext(ctx, b, x0)
+		res, x, err = s.SolvePCGContext(ctx, b, x0)
 	case MethodPipeCG:
-		return s.SolvePipeCGContext(ctx, b, x0)
+		res, x, err = s.SolvePipeCGContext(ctx, b, x0)
 	case MethodPCSI, MethodCSI:
-		return s.SolvePCSIContext(ctx, b, x0)
+		res, x, err = s.SolvePCSIContext(ctx, b, x0)
 	default:
 		return Result{}, nil, fmt.Errorf("core: unknown method %v: %w", m, ErrBadSpec)
 	}
+	res.TraceID = s.W.TraceID()
+	return res, x, err
 }

@@ -130,6 +130,13 @@ type Session struct {
 	zeroBuf []float64
 }
 
+// SetTraceID stamps the request-scoped trace ID onto the session's world:
+// every rank-level span of subsequent solves carries it, correlating the
+// solve's trace tree with the serve request it works for (0 clears it).
+// Sessions are single-solve at a time (the serve layer serializes solves per
+// session), so the caller sets it immediately before each solve.
+func (s *Session) SetTraceID(id uint64) { s.W.SetTraceID(id) }
+
 // zeroX0 returns the session-owned all-zeros initial guess (allocated on
 // first use, never written afterwards).
 func (s *Session) zeroX0() []float64 {
@@ -339,6 +346,10 @@ type Result struct {
 	// solve. All-zero for fault-free runs (and always for worlds without an
 	// active injector).
 	Recovery RecoveryInfo
+	// TraceID is the request-scoped trace ID the solve ran under (0 when the
+	// solve was not serving a traced request); every rank-level span the
+	// solve emitted carries the same ID.
+	TraceID uint64
 }
 
 // RecoveryInfo counts the recovery actions one solve performed. Populated

@@ -182,6 +182,58 @@ func splitLabels(name string) (base, labels string) {
 	return name[:i], strings.TrimSuffix(name[i+1:], "}")
 }
 
+// escapeHelp escapes a HELP line for the Prometheus text format: backslash
+// becomes \\ and newline becomes \n (the only two escapes the format
+// defines for HELP).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// sanitizeLabels re-escapes a rendered inline label set for the Prometheus
+// text format. Inside quoted label values, raw newlines become \n and
+// backslashes not already starting a format-valid escape (\\, \", \n) are
+// doubled; values that were built with %q (already escaped) pass through
+// unchanged, so the function is idempotent.
+func sanitizeLabels(labels string) string {
+	if !strings.ContainsAny(labels, "\\\n") {
+		return labels
+	}
+	var sb strings.Builder
+	sb.Grow(len(labels) + 4)
+	inQuote := false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			sb.WriteByte(c)
+		case inQuote && c == '\\':
+			if i+1 < len(labels) && (labels[i+1] == '\\' || labels[i+1] == '"' || labels[i+1] == 'n') {
+				sb.WriteByte(c)
+				i++
+				sb.WriteByte(labels[i])
+			} else {
+				sb.WriteString(`\\`)
+			}
+		case inQuote && c == '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+// sanitizeName applies sanitizeLabels to a metric name's inline label set.
+func sanitizeName(name string) string {
+	base, labels := splitLabels(name)
+	if labels == "" {
+		return base
+	}
+	return base + "{" + sanitizeLabels(labels) + "}"
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format, sorted by name.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -208,7 +260,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if !headerDone[base] {
 			headerDone[base] = true
 			if h := r.help[base]; h != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, h); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, escapeHelp(h)); err != nil {
 					return err
 				}
 			}
@@ -219,9 +271,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		var err error
 		switch {
 		case r.counters[n] != nil:
-			_, err = fmt.Fprintf(w, "%s %d\n", n, r.counters[n].Value())
+			_, err = fmt.Fprintf(w, "%s %d\n", sanitizeName(n), r.counters[n].Value())
 		case r.gauges[n] != nil:
-			_, err = fmt.Fprintf(w, "%s %g\n", n, r.gauges[n].Value())
+			_, err = fmt.Fprintf(w, "%s %g\n", sanitizeName(n), r.gauges[n].Value())
 		default:
 			err = writePromHistogram(w, n, r.hists[n])
 		}
@@ -235,6 +287,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writePromHistogram emits the _bucket/_sum/_count series for one histogram.
 func writePromHistogram(w io.Writer, name string, h *Histogram) error {
 	base, labels := splitLabels(name)
+	labels = sanitizeLabels(labels)
 	withLe := func(le string) string {
 		if labels == "" {
 			return fmt.Sprintf("%s_bucket{le=%q}", base, le)

@@ -1,0 +1,501 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto / Chrome trace-event export. One export renders a set of
+// virtual-rank timelines (one Perfetto thread per rank, one process per
+// solver session) plus a serve track (one thread per request, phases nested
+// as complete events), so the Perfetto UI (ui.perfetto.dev) or
+// chrome://tracing shows the exact timeline the paper's phase analysis
+// reasons about: compute / halo / reduction spans per rank, with the serve
+// layer's queueing and batching above them.
+//
+// Virtual clocks restart at zero on every World.Run, so the exporter keeps
+// a per-track segment offset: each EvRunBegin marker shifts the segment's
+// origin to the end of the previous segment, keeping timestamps monotone
+// non-decreasing per track (a Perfetto requirement for sane rendering).
+//
+// The export carries two non-standard top-level keys, both ignored by the
+// Perfetto UI: "popRequests" (the serve-layer request records, the input to
+// critical-path attribution) and "otherData".dropped_events (ring-buffer
+// drop count, so consumers can warn that a trace is truncated).
+
+// RequestRecord is one serve request's span summary: wall-clock phase
+// durations through the serving layer plus the solve's virtual-time
+// attribution. It is the unit the flight recorder retains and the record
+// poptrace turns into a critical-path breakdown.
+type RequestRecord struct {
+	// TraceID correlates this record with the rank-level events stamped
+	// with the same ID.
+	TraceID uint64 `json:"trace_id"`
+	// Key is the session-pool key the request hashed to ("test/pcsi/evp").
+	Key string `json:"key"`
+	// Session is the index of the pooled session that ran the solve (−1
+	// when the request never reached a worker).
+	Session int `json:"session"`
+	// StartUnixNS is the admission wall time (UnixNano).
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// AdmitNS is wall time spent in admission: validation, normalization,
+	// pool lookup and warm-up, up to the queue send.
+	AdmitNS int64 `json:"admit_ns"`
+	// QueueNS is wall time from queue send to a worker dequeuing the
+	// request.
+	QueueNS int64 `json:"queue_ns"`
+	// BatchWaitNS is wall time from dequeue to solve start — the batching
+	// window spent waiting for batch-mates plus head-of-batch solves.
+	BatchWaitNS int64 `json:"batch_wait_ns"`
+	// SolveNS is the wall time of the solve itself (all attempts).
+	SolveNS int64 `json:"solve_ns"`
+	// TotalNS is the measured request latency: admission entry to response
+	// receipt at the caller. The phase durations above sum to TotalNS minus
+	// the worker→caller hand-off.
+	TotalNS int64 `json:"total_ns"`
+	// Iterations is the solver iteration count (0 on error paths).
+	Iterations int `json:"iterations"`
+	// Converged reports whether the solve met its tolerance.
+	Converged bool `json:"converged"`
+	// Error is the terminal error string ("" on success).
+	Error string `json:"error,omitempty"`
+	// Ranks is the virtual rank count of the session's world.
+	Ranks int `json:"ranks"`
+	// VCompMean, VHaloMean, VReduceMean are the solve's per-rank mean
+	// virtual seconds in computation, boundary update, and global
+	// reduction — the paper's three POP timer phases.
+	VCompMean   float64 `json:"v_comp_mean"`
+	VHaloMean   float64 `json:"v_halo_mean"`   // see VCompMean
+	VReduceMean float64 `json:"v_reduce_mean"` // see VCompMean
+	// VClockMax is the slowest rank's virtual clock — the solve's virtual
+	// completion time; VClockMax minus the mean rank clock is the
+	// straggler slack.
+	VClockMax float64 `json:"v_clock_max"`
+}
+
+// Track is one virtual-rank timeline handed to WritePerfetto: the retained
+// events of one rank's ring, labelled with the Perfetto process (solver
+// session) and thread (rank) they render under.
+type Track struct {
+	// Process labels the Perfetto process row (e.g. "session 0 test/pcsi/evp").
+	Process string
+	// PID is the Perfetto process ID grouping this track (serve uses 0;
+	// sessions count from 1).
+	PID int
+	// Thread labels the Perfetto thread row (e.g. "rank 3").
+	Thread string
+	// TID is the Perfetto thread ID within the process (the rank ID).
+	TID int
+	// Events are the track's events in record order (RankTrace.Events()).
+	Events []Event
+}
+
+// ServePID is the Perfetto process ID of the serve track; rank tracks use
+// session index + 1.
+const ServePID = 0
+
+// chromeEvent is one entry of the "traceEvents" array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WritePerfetto renders tracks and request records as Chrome trace-event
+// JSON loadable in ui.perfetto.dev. dropped is the trace ring's drop count,
+// recorded under otherData so consumers can flag truncated traces.
+func WritePerfetto(w io.Writer, tracks []Track, reqs []RequestRecord, dropped int64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(raw)
+		return err
+	}
+	meta := func(pid, tid int, kind, name string) error {
+		ev := chromeEvent{Name: kind, Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name}}
+		return emit(ev)
+	}
+
+	// Serve track: one thread per request, phases as nested complete events.
+	if len(reqs) > 0 {
+		if err := meta(ServePID, 0, "process_name", "serve"); err != nil {
+			return err
+		}
+		base := reqs[0].StartUnixNS
+		for _, r := range reqs {
+			if r.StartUnixNS < base {
+				base = r.StartUnixNS
+			}
+		}
+		for _, r := range reqs {
+			tid := int(r.TraceID)
+			if err := meta(ServePID, tid, "thread_name", fmt.Sprintf("req %d", r.TraceID)); err != nil {
+				return err
+			}
+			ts := float64(r.StartUnixNS-base) / 1e3 // ns → µs
+			args := map[string]any{"trace": r.TraceID, "key": r.Key,
+				"session": r.Session, "iterations": r.Iterations,
+				"converged": r.Converged}
+			if r.Error != "" {
+				args["error"] = r.Error
+			}
+			total := float64(r.TotalNS) / 1e3
+			if err := emit(chromeEvent{Name: "request", Ph: "X", Ts: ts, Dur: &total,
+				PID: ServePID, TID: tid, Args: args}); err != nil {
+				return err
+			}
+			cursor := ts
+			for _, ph := range []struct {
+				name string
+				ns   int64
+			}{
+				{"admit", r.AdmitNS},
+				{"queue", r.QueueNS},
+				{"batch_wait", r.BatchWaitNS},
+				{"solve", r.SolveNS},
+			} {
+				dur := float64(ph.ns) / 1e3
+				if dur < 0 {
+					dur = 0
+				}
+				if err := emit(chromeEvent{Name: ph.name, Ph: "X", Ts: cursor, Dur: &dur,
+					PID: ServePID, TID: tid,
+					Args: map[string]any{"trace": r.TraceID}}); err != nil {
+					return err
+				}
+				cursor += dur
+			}
+		}
+	}
+
+	// Rank tracks: virtual-clock events with per-run segment offsets.
+	for _, tr := range tracks {
+		if err := meta(tr.PID, tr.TID, "process_name", tr.Process); err != nil {
+			return err
+		}
+		if err := meta(tr.PID, tr.TID, "thread_name", tr.Thread); err != nil {
+			return err
+		}
+		offset, last := 0.0, 0.0 // µs on this track
+		for _, e := range tr.Events {
+			if e.Name == EvRunBegin {
+				offset = last // new run segment starts where the previous ended
+			}
+			ts := offset + e.T0*1e6
+			if ts < last {
+				ts = last // clamp: monotone per track even if a ring wrapped mid-run
+			}
+			args := eventArgs(&e)
+			if e.IsPoint() {
+				if err := emit(chromeEvent{Name: e.Name, Ph: "i", Ts: ts,
+					PID: tr.PID, TID: tr.TID, S: "t", Args: args}); err != nil {
+					return err
+				}
+				if ts > last {
+					last = ts
+				}
+				continue
+			}
+			end := offset + e.T1*1e6
+			if end < ts {
+				end = ts
+			}
+			dur := end - ts
+			if err := emit(chromeEvent{Name: e.Name, Ph: "X", Ts: ts, Dur: &dur,
+				PID: tr.PID, TID: tr.TID, Args: args}); err != nil {
+				return err
+			}
+			if end > last {
+				last = end
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(bw,
+		`],"displayTimeUnit":"ms","otherData":{"dropped_events":%d},"popRequests":`,
+		dropped); err != nil {
+		return err
+	}
+	if reqs == nil {
+		reqs = []RequestRecord{}
+	}
+	raw, err := json.Marshal(reqs)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(raw); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('}'); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// eventArgs builds the args payload of one rank event, carrying only the
+// fields the event actually set (keeps exports compact).
+func eventArgs(e *Event) map[string]any {
+	args := make(map[string]any, 4)
+	if e.Trace != 0 {
+		args["trace"] = e.Trace
+	}
+	if e.Iter >= 0 {
+		args["iter"] = e.Iter
+	}
+	if e.Value != 0 {
+		args["value"] = e.Value
+	}
+	if e.Aux != 0 {
+		args["aux"] = e.Aux
+	}
+	if e.Straggler >= 0 {
+		args["straggler"] = e.Straggler
+		args["wait_us"] = e.Wait * 1e6
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// PerfEvent is one parsed trace event (metadata events are folded into
+// PerfettoTrace's name maps instead).
+type PerfEvent struct {
+	// Name is the event name ("compute", "halo", "reduce", "request", ...).
+	Name string
+	// Ph is the Chrome phase ("X" complete, "i" instant).
+	Ph string
+	// Ts is the start timestamp in microseconds; Dur the duration.
+	Ts, Dur float64
+	// PID and TID locate the event's track.
+	PID, TID int
+	// Args holds the numeric args (trace, iter, value, straggler, wait_us).
+	Args map[string]float64
+}
+
+// PerfettoTrace is a parsed Perfetto export.
+type PerfettoTrace struct {
+	// Events are the non-metadata trace events, in file order.
+	Events []PerfEvent
+	// ProcessNames maps pid → process_name metadata.
+	ProcessNames map[int]string
+	// ThreadNames maps pid → tid → thread_name metadata.
+	ThreadNames map[int]map[int]string
+	// Requests are the serve-layer request records.
+	Requests []RequestRecord
+	// Dropped is the ring-buffer drop count at export time; a nonzero value
+	// means the trace is truncated (oldest events lost).
+	Dropped int64
+}
+
+// rawChromeEvent defers args decoding: metadata args carry strings, span
+// args numbers.
+type rawChromeEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	PID  int             `json:"pid"`
+	TID  int             `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+// ReadPerfetto parses a Perfetto/Chrome trace-event JSON export produced by
+// WritePerfetto (tolerating files from other producers: unknown phases and
+// non-numeric args are skipped, missing pop extensions default to empty).
+func ReadPerfetto(r io.Reader) (*PerfettoTrace, error) {
+	var file struct {
+		TraceEvents []rawChromeEvent `json:"traceEvents"`
+		OtherData   struct {
+			Dropped int64 `json:"dropped_events"`
+		} `json:"otherData"`
+		PopRequests []RequestRecord `json:"popRequests"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("obs: parse perfetto trace: %w", err)
+	}
+	pt := &PerfettoTrace{
+		ProcessNames: make(map[int]string),
+		ThreadNames:  make(map[int]map[int]string),
+		Requests:     file.PopRequests,
+		Dropped:      file.OtherData.Dropped,
+	}
+	for _, raw := range file.TraceEvents {
+		if raw.Ph == "M" {
+			var args struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(raw.Args, &args); err != nil {
+				continue
+			}
+			switch raw.Name {
+			case "process_name":
+				pt.ProcessNames[raw.PID] = args.Name
+			case "thread_name":
+				tm := pt.ThreadNames[raw.PID]
+				if tm == nil {
+					tm = make(map[int]string)
+					pt.ThreadNames[raw.PID] = tm
+				}
+				tm[raw.TID] = args.Name
+			}
+			continue
+		}
+		ev := PerfEvent{Name: raw.Name, Ph: raw.Ph, Ts: raw.Ts, Dur: raw.Dur,
+			PID: raw.PID, TID: raw.TID}
+		if len(raw.Args) > 0 {
+			var nums map[string]json.Number
+			if err := json.Unmarshal(raw.Args, &nums); err == nil {
+				ev.Args = make(map[string]float64, len(nums))
+				for k, v := range nums {
+					if f, err := v.Float64(); err == nil {
+						ev.Args[k] = f
+					}
+				}
+			}
+		}
+		pt.Events = append(pt.Events, ev)
+	}
+	return pt, nil
+}
+
+// Attribution is one request's critical-path breakdown: where the wall time
+// between admission and response went. The serve phases (Admit, Queue,
+// BatchWait) are measured wall time; the solve phases (Compute, Halo,
+// Reduce, Slack) split the measured solve wall time in proportion to the
+// solve's virtual-time phase mix, with Slack the share spent waiting for
+// the slowest rank (max rank clock − mean rank clock) — the paper's
+// straggler cost. Phases sum to Total minus the worker→caller hand-off.
+type Attribution struct {
+	// TraceID and Key identify the request.
+	TraceID uint64
+	Key     string // see TraceID
+	// Admit, Queue, BatchWait, Compute, Halo, Reduce, Slack are the phase
+	// durations in seconds.
+	Admit, Queue, BatchWait, Compute, Halo, Reduce, Slack float64
+	// Total is the measured request latency in seconds.
+	Total float64
+}
+
+// Sum returns the attributed time: the seven phase durations added up.
+func (a Attribution) Sum() float64 {
+	return a.Admit + a.Queue + a.BatchWait + a.Compute + a.Halo + a.Reduce + a.Slack
+}
+
+// Coverage returns Sum/Total — how much of the measured latency the phases
+// explain (1 when attribution is airtight; the shortfall is the
+// worker→caller response hand-off).
+func (a Attribution) Coverage() float64 {
+	if a.Total <= 0 {
+		return 0
+	}
+	return a.Sum() / a.Total
+}
+
+// AttributeRecord computes one request's critical-path attribution from its
+// span summary.
+func AttributeRecord(rec RequestRecord) Attribution {
+	a := Attribution{
+		TraceID:   rec.TraceID,
+		Key:       rec.Key,
+		Admit:     float64(rec.AdmitNS) / 1e9,
+		Queue:     float64(rec.QueueNS) / 1e9,
+		BatchWait: float64(rec.BatchWaitNS) / 1e9,
+		Total:     float64(rec.TotalNS) / 1e9,
+	}
+	solve := float64(rec.SolveNS) / 1e9
+	if rec.VClockMax > 0 {
+		// Split the solve wall time by the virtual phase mix; the virtual
+		// phases plus slack sum to VClockMax by construction, so the wall
+		// split is exact.
+		scale := solve / rec.VClockMax
+		a.Compute = rec.VCompMean * scale
+		a.Halo = rec.VHaloMean * scale
+		a.Reduce = rec.VReduceMean * scale
+		slackV := rec.VClockMax - (rec.VCompMean + rec.VHaloMean + rec.VReduceMean)
+		if slackV < 0 {
+			slackV = 0
+		}
+		a.Slack = slackV * scale
+	} else {
+		// Free cost model (no virtual pricing): the whole solve is compute.
+		a.Compute = solve
+	}
+	return a
+}
+
+// LeagueRow is one rank's standing in the straggler league: how often its
+// late arrival set a reduction's critical path, and how long it spent
+// waiting for others (a rank that straggles often and waits little is the
+// load-imbalance hot spot the paper's §5.2 analysis hunts).
+type LeagueRow struct {
+	// Rank is the virtual rank (the track TID).
+	Rank int
+	// Reduces is how many reduce spans the rank's track retained.
+	Reduces int
+	// Straggled is how many of those reductions this rank arrived last at.
+	Straggled int
+	// WaitTotal is the rank's summed reduction wait in seconds; WaitMean
+	// the per-reduction mean.
+	WaitTotal, WaitMean float64
+}
+
+// StragglerLeague aggregates reduce spans from a parsed trace into per-rank
+// standings, sorted by straggle count descending (ties by rank). Ranks are
+// identified by track TID, so multi-session exports aggregate same-numbered
+// ranks across sessions.
+func StragglerLeague(events []PerfEvent) []LeagueRow {
+	byRank := make(map[int]*LeagueRow)
+	for _, e := range events {
+		if e.Name != EvReduce || e.Ph != "X" {
+			continue
+		}
+		row := byRank[e.TID]
+		if row == nil {
+			row = &LeagueRow{Rank: e.TID}
+			byRank[e.TID] = row
+		}
+		row.Reduces++
+		row.WaitTotal += e.Args["wait_us"] / 1e6
+		if s, ok := e.Args["straggler"]; ok && int(s) == e.TID {
+			row.Straggled++
+		}
+	}
+	rows := make([]LeagueRow, 0, len(byRank))
+	for _, row := range byRank {
+		if row.Reduces > 0 {
+			row.WaitMean = row.WaitTotal / float64(row.Reduces)
+		}
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Straggled != rows[j].Straggled {
+			return rows[i].Straggled > rows[j].Straggled
+		}
+		return rows[i].Rank < rows[j].Rank
+	})
+	return rows
+}

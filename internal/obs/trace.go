@@ -53,17 +53,35 @@ const (
 // virtual clock; point events set Point and use T0 as their timestamp
 // (span durations can legitimately be zero under a free cost model, so
 // point-ness is explicit rather than inferred). Iter is −1 and Straggler
-// −1 when not applicable.
+// −1 when not applicable. Trace is the request-scoped trace ID the ring
+// stamped at record time (0 when the run was not serving a traced request),
+// which is what correlates one serve request's rank-level spans across
+// every layer — see SetTraceID.
 type Event struct {
-	Rank      int
-	Name      string
-	T0, T1    float64
-	Point     bool
-	Iter      int
-	Value     float64
-	Aux       float64
+	// Rank is the emitting virtual rank.
+	Rank int
+	// Name is the event kind (one of the Ev* constants).
+	Name string
+	// T0 and T1 are the span bounds on the rank's virtual clock (seconds);
+	// point events use T0 as their timestamp.
+	T0, T1 float64
+	// Point marks an instantaneous event.
+	Point bool
+	// Iter is the solver iteration the event belongs to, −1 when none.
+	Iter int
+	// Value is the event's primary magnitude (bytes moved, residual, …) as
+	// documented per Ev* constant.
+	Value float64
+	// Aux is the event's secondary magnitude, per Ev* constant.
+	Aux float64
+	// Straggler is the rank whose late entry set a reduction's critical
+	// path, −1 when not applicable.
 	Straggler int
-	Wait      float64
+	// Wait is virtual time (seconds) spent waiting on the straggler.
+	Wait float64
+	// Trace is the request-scoped trace ID stamped at record time (0 =
+	// not serving a traced request).
+	Trace uint64
 }
 
 // IsPoint reports whether the event is an instantaneous marker.
@@ -75,15 +93,26 @@ func (e *Event) IsPoint() bool { return e.Point }
 // rank program returns.
 type RankTrace struct {
 	rank  int
+	trace uint64 // current request trace ID, stamped onto every Add
 	buf   []Event
 	next  int   // next write position
 	total int64 // events ever recorded
 }
 
+// SetTraceID sets the request-scoped trace ID stamped onto every subsequent
+// Add (0 clears it). The runtime calls it at each World.Run entry, before
+// the run's first event, so every event of a run carries the ID of the
+// request that run is serving.
+func (rt *RankTrace) SetTraceID(id uint64) { rt.trace = id }
+
 // Add records one event, overwriting the oldest when the ring is full. The
-// event's Rank field is stamped by the buffer.
+// event's Rank and Trace fields are stamped by the buffer — callers never
+// thread the trace ID through instrumentation sites.
+//
+//pop:hotpath
 func (rt *RankTrace) Add(e Event) {
 	e.Rank = rt.rank
+	e.Trace = rt.trace
 	rt.buf[rt.next] = e
 	rt.next++
 	if rt.next == len(rt.buf) {
@@ -125,9 +154,10 @@ func (rt *RankTrace) Events() []Event {
 // per-rank hook pointers nil, so a disabled tracer costs one pointer
 // comparison per instrumentation site and allocates nothing.
 type Tracer struct {
-	mu    sync.Mutex
-	cap   int
-	ranks map[int]*RankTrace
+	mu              sync.Mutex
+	cap             int
+	ranks           map[int]*RankTrace
+	droppedExported int64 // drop total already published via ExportDropped
 }
 
 // DefaultCapacity is the per-rank ring size when NewTracer is given ≤ 0.
@@ -177,11 +207,49 @@ func (t *Tracer) Events() []Event {
 func (t *Tracer) Dropped() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.droppedLocked()
+}
+
+func (t *Tracer) droppedLocked() int64 {
 	var d int64
 	for _, rt := range t.ranks {
 		d += rt.Dropped()
 	}
 	return d
+}
+
+// ExportDropped publishes the tracer's ring-drop total into reg's
+// obs_trace_dropped_total counter: the delta since the tracer's previous
+// export is added, so repeated exports keep the counter monotone and equal
+// to Dropped(). A nil tracer or registry is a no-op. Callers poll it at
+// natural scrape points (stats snapshots, trace exports) rather than on the
+// record hot path.
+func (t *Tracer) ExportDropped(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.droppedLocked()
+	if delta := d - t.droppedExported; delta > 0 {
+		reg.Counter("obs_trace_dropped_total",
+			"trace events lost to ring-buffer wraparound (truncated traces)").Add(delta)
+		t.droppedExported = d
+	}
+}
+
+// EventsFor returns every retained event stamped with the given trace ID,
+// grouped by rank and in record order — one request's correlated span set
+// across all ranks.
+func (t *Tracer) EventsFor(id uint64) []Event {
+	all := t.Events()
+	out := make([]Event, 0, 64)
+	for _, e := range all {
+		if e.Trace == id {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func sortInts(a []int) {
@@ -199,6 +267,7 @@ type jsonLine struct {
 	Rank      int      `json:"rank"`
 	Name      string   `json:"name"`
 	T         float64  `json:"t"`
+	Trace     uint64   `json:"trace,omitempty"`
 	Iter      *int     `json:"iter,omitempty"`
 	Value     *float64 `json:"value,omitempty"`
 	Aux       *float64 `json:"aux,omitempty"`
@@ -233,17 +302,17 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	for _, e := range t.Events() {
 		e := e
 		if e.IsPoint() {
-			l := jsonLine{Ev: "P", Rank: e.Rank, Name: e.Name, T: e.T0}
+			l := jsonLine{Ev: "P", Rank: e.Rank, Name: e.Name, T: e.T0, Trace: e.Trace}
 			payload(&l, &e)
 			if err := enc.Encode(l); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := enc.Encode(jsonLine{Ev: "B", Rank: e.Rank, Name: e.Name, T: e.T0}); err != nil {
+		if err := enc.Encode(jsonLine{Ev: "B", Rank: e.Rank, Name: e.Name, T: e.T0, Trace: e.Trace}); err != nil {
 			return err
 		}
-		l := jsonLine{Ev: "E", Rank: e.Rank, Name: e.Name, T: e.T1}
+		l := jsonLine{Ev: "E", Rank: e.Rank, Name: e.Name, T: e.T1, Trace: e.Trace}
 		payload(&l, &e)
 		if err := enc.Encode(l); err != nil {
 			return err

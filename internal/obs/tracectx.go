@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Request-scoped trace identity. A trace ID names one serve request; it is
+// assigned at admission (or supplied by the client), carried through the
+// serving layer on the request's context, stamped onto the session world
+// before the solve, and from there onto every rank-level span the solve
+// emits — so one request yields one correlated span tree spanning HTTP
+// handler → session worker → per-rank solver phases.
+
+// traceIDKey is the context key TraceID helpers use.
+type traceIDKey struct{}
+
+// nextTraceID is the process-wide allocator behind NewTraceID.
+var nextTraceID atomic.Uint64
+
+// NewTraceID returns a process-unique nonzero trace ID. IDs are a plain
+// monotone counter — deterministic across runs of a deterministic workload,
+// unlike random or time-derived IDs, which keeps traced golden runs
+// reproducible.
+func NewTraceID() uint64 { return nextTraceID.Add(1) }
+
+// ContextWithTraceID returns ctx tagged with the trace ID. A zero id
+// returns ctx unchanged.
+func ContextWithTraceID(ctx context.Context, id uint64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFromContext extracts the trace ID carried by ctx (0 when absent).
+func TraceIDFromContext(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(traceIDKey{}).(uint64)
+	return id
+}

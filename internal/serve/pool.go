@@ -11,18 +11,26 @@ import (
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/stencil"
 )
 
 // request is one queued solve; resp is buffered (size 1) so a worker can
 // always deliver and move on even when the caller has abandoned the wait.
+// The time.Time fields mark the request's phase boundaries: start (Solve
+// entry) → enqueued (queue send; the gap is admission) → dequeued (worker
+// pickup; the gap is queue wait) → solve start in runBatch (the gap is
+// batch wait).
 type request struct {
 	ctx      context.Context
 	req      Request
 	key      Key
 	resp     chan result
+	traceID  uint64
+	start    time.Time
 	enqueued time.Time
+	dequeued time.Time
 }
 
 type result struct {
@@ -95,13 +103,15 @@ func (p *keyPool) circuitAllow() bool {
 	return true
 }
 
-// recordOutcome feeds the circuit breaker. Only solver faults count against
-// the key; context cancellations and spec errors say nothing about its
-// health, and a successful solve closes the window.
-func (p *keyPool) recordOutcome(err error) {
+// recordOutcome feeds the circuit breaker and reports whether this outcome
+// transitioned the circuit to open (the flight-recorder trigger). Only
+// solver faults count against the key; context cancellations and spec
+// errors say nothing about its health, and a successful solve closes the
+// window.
+func (p *keyPool) recordOutcome(err error) (opened bool) {
 	th := p.svc.opts.CircuitThreshold
 	if th <= 0 {
-		return
+		return false
 	}
 	p.cbMu.Lock()
 	defer p.cbMu.Unlock()
@@ -112,8 +122,10 @@ func (p *keyPool) recordOutcome(err error) {
 		p.cbFails++
 		if p.cbFails >= th && p.cbOpenAt.IsZero() {
 			p.cbOpenAt = time.Now()
+			opened = true
 		}
 	}
+	return opened
 }
 
 // ensureBuilt warms the pool's first session synchronously. Build failures
@@ -128,13 +140,13 @@ func (p *keyPool) ensureBuilt() error {
 	if p.buildErr != nil {
 		return p.buildErr
 	}
-	sess, err := p.build()
+	sess, slot, err := p.build()
 	if err != nil {
 		p.buildErr = err
 		return err
 	}
 	p.gridN = sess.G.N()
-	if !p.startWorker(sess) {
+	if !p.startWorker(sess, slot) {
 		// The service closed while we were building; terminal, so stick.
 		p.buildErr = ErrClosed
 		return ErrClosed
@@ -152,11 +164,12 @@ func (p *keyPool) n() int {
 // build assembles and warms one session: decomposition, virtual world,
 // preconditioner factorization, and (for Stiefel methods) the Lanczos
 // eigenvalue bounds — everything a request would otherwise pay for on its
-// first solve.
-func (p *keyPool) build() (*core.Session, error) {
+// first solve. The returned slot is the session's service-level registration
+// (index, tracer, export lock).
+func (p *keyPool) build() (*core.Session, *sessionSlot, error) {
 	ge, err := p.svc.gridFor(p.key.Grid)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	o := p.svc.opts
 	opts := o.Solver
@@ -166,22 +179,22 @@ func (p *keyPool) build() (*core.Session, error) {
 	if o.Cores > 0 {
 		bx, by, _, err := decomp.ChooseBlocking(ge.g, o.Cores, 3, 2)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		d, err = decomp.New(ge.g, bx, by, decomp.DefaultHalo)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	} else {
 		d, err = decomp.New(ge.g, ge.g.Nx, ge.g.Ny, decomp.DefaultHalo)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	d.AssignOnePerRank()
 	machine, err := perfmodel.ByName(o.MachineName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var cost comm.CostModel
 	if machine != nil {
@@ -189,32 +202,40 @@ func (p *keyPool) build() (*core.Session, error) {
 	}
 	w, err := comm.NewWorld(d, cost)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Wire the fault injector (if any) into the session's world; a nil
 	// injector leaves every communication path bitwise identical.
 	w.Faults = o.Injector
+	// Attach the per-session tracer before warm-up so setup and Lanczos
+	// spans are captured too (with trace ID 0 — not tied to any request).
+	// Sessions deliberately do not share a tracer: each ring is
+	// single-writer per rank goroutine, and two sessions both have a rank 0.
+	if o.TraceCapacity > 0 {
+		w.Tracer = obs.NewTracer(o.TraceCapacity)
+	}
 	sess, err := core.NewSession(ge.g, ge.op, d, w, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := sess.Setup(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if p.key.Method == core.MethodPCSI {
 		if _, _, _, err := sess.EstimateEigenvalues(nil, 0); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	slot := p.svc.registerSession(p.key, w.Tracer, w.NRank)
 	n := p.svc.sessCount.Add(1)
 	p.svc.m.sessions.Set(float64(n))
-	return sess, nil
+	return sess, slot, nil
 }
 
 // startWorker registers a worker under the service read lock so it can
 // never race Close's wg.Wait: either the worker starts before Close flips
 // closed, or the freshly built session is discarded.
-func (p *keyPool) startWorker(sess *core.Session) bool {
+func (p *keyPool) startWorker(sess *core.Session, slot *sessionSlot) bool {
 	s := p.svc
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -222,7 +243,7 @@ func (p *keyPool) startWorker(sess *core.Session) bool {
 		return false
 	}
 	s.wg.Add(1)
-	go p.worker(sess)
+	go p.worker(sess, slot)
 	return true
 }
 
@@ -237,11 +258,11 @@ func (p *keyPool) maybeGrow() {
 	p.growing = true
 	p.buildMu.Unlock()
 	go func() {
-		sess, err := p.build()
+		sess, slot, err := p.build()
 		p.buildMu.Lock()
 		defer p.buildMu.Unlock()
 		p.growing = false
-		if err == nil && p.startWorker(sess) {
+		if err == nil && p.startWorker(sess, slot) {
 			p.built++
 		}
 	}()
@@ -251,7 +272,7 @@ func (p *keyPool) maybeGrow() {
 // batch, run the batch back-to-back on the session. When Close closes the
 // queue the worker finishes the remaining buffered requests before exiting
 // — that is the graceful drain.
-func (p *keyPool) worker(sess *core.Session) {
+func (p *keyPool) worker(sess *core.Session, slot *sessionSlot) {
 	defer p.svc.wg.Done()
 	batch := make([]*request, 0, p.svc.opts.MaxBatch)
 	for {
@@ -259,9 +280,15 @@ func (p *keyPool) worker(sess *core.Session) {
 		if !ok {
 			return
 		}
+		first.dequeued = time.Now()
 		batch = append(batch[:0], first)
 		p.fill(&batch)
-		p.runBatch(sess, batch)
+		p.svc.m.queueDepth.Set(float64(len(p.queue)))
+		// slot.mu serializes the batch against Perfetto export (the rank
+		// rings are single-writer and unsynchronized).
+		slot.mu.Lock()
+		p.runBatch(sess, slot, batch)
+		slot.mu.Unlock()
 	}
 }
 
@@ -275,6 +302,7 @@ func (p *keyPool) fill(batch *[]*request) {
 			if !ok {
 				return
 			}
+			r.dequeued = time.Now()
 			*batch = append(*batch, r)
 			continue
 		default:
@@ -290,6 +318,7 @@ func (p *keyPool) fill(batch *[]*request) {
 				if !ok {
 					return
 				}
+				r.dequeued = time.Now()
 				*batch = append(*batch, r)
 			case <-timer.C:
 				return
@@ -302,23 +331,69 @@ func (p *keyPool) fill(batch *[]*request) {
 // done are skipped (their spot in the checkout is not wasted on a doomed
 // solve); live ones run with their own context so a deadline can still stop
 // a solve at its next convergence check.
-func (p *keyPool) runBatch(sess *core.Session, batch []*request) {
+//
+// Every finished request — solved, errored, or expired — leaves a
+// RequestRecord in the flight recorder, and the three incident triggers
+// (fault beyond the retry budget, circuit-breaker opening, latency-SLO
+// breach) dump the recorder with the offending request's spans attached.
+func (p *keyPool) runBatch(sess *core.Session, slot *sessionSlot, batch []*request) {
 	m := &p.svc.m
 	m.batches.Inc()
 	m.batchSize.Observe(float64(len(batch)))
 	for _, r := range batch {
 		m.queueWait.Observe(time.Since(r.enqueued).Seconds())
+		rec := obs.RequestRecord{
+			TraceID:     r.traceID,
+			Key:         r.key.String(),
+			Session:     slot.idx,
+			StartUnixNS: r.start.UnixNano(),
+			AdmitNS:     r.enqueued.Sub(r.start).Nanoseconds(),
+			QueueNS:     r.dequeued.Sub(r.enqueued).Nanoseconds(),
+			Ranks:       slot.ranks,
+		}
 		if r.ctx.Err() != nil {
 			m.expired.Inc()
-			r.resp <- result{err: fmt.Errorf("serve: expired in queue: %w", context.Cause(r.ctx))}
+			err := fmt.Errorf("serve: expired in queue: %w", context.Cause(r.ctx))
+			rec.Error = err.Error()
+			rec.TotalNS = time.Since(r.start).Nanoseconds()
+			p.svc.flight.Note(rec)
+			r.resp <- result{err: err}
 			continue
 		}
+		solveStart := time.Now()
+		rec.BatchWaitNS = solveStart.Sub(r.dequeued).Nanoseconds()
 		res, x, err := p.solveOnce(sess, r)
+		rec.SolveNS = time.Since(solveStart).Nanoseconds()
 		if err == nil && !res.Converged {
 			err = &core.NotConvergedError{
 				Solver: res.Solver, Iterations: res.Iterations, RelResidual: res.RelResidual}
 		}
-		p.recordOutcome(err)
+		opened := p.recordOutcome(err)
+		rec.Iterations = res.Iterations
+		rec.Converged = res.Converged
+		mc := res.Stats.MeanCounters()
+		rec.VCompMean = mc.TComp
+		rec.VHaloMean = mc.THalo
+		rec.VReduceMean = mc.TReduce
+		rec.VClockMax = res.Stats.MaxClock
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		rec.TotalNS = time.Since(r.start).Nanoseconds()
+		p.svc.flight.Note(rec)
+		// Incident triggers. The worker owns the session between solves, so
+		// reading its trace rings here cannot race rank goroutines. A fault
+		// that also opens the circuit dumps twice — each incident class gets
+		// its own black box.
+		if err != nil && errors.Is(err, core.ErrFaulted) {
+			p.dumpFlight("fault_recovery", rec, slot)
+		}
+		if opened {
+			p.dumpFlight("circuit_open", rec, slot)
+		}
+		if p.svc.opts.LatencySLO > 0 && rec.TotalNS > p.svc.opts.LatencySLO.Nanoseconds() {
+			p.dumpFlight("slo_breach", rec, slot)
+		}
 		if err != nil {
 			m.errors.Inc()
 			r.resp <- result{err: err}
@@ -327,8 +402,20 @@ func (p *keyPool) runBatch(sess *core.Session, batch []*request) {
 		// x is the session's reusable arena; the response owns a copy.
 		xc := make([]float64, len(x))
 		copy(xc, x)
-		r.resp <- result{resp: Response{Result: res, X: xc}}
+		r.resp <- result{resp: Response{Result: res, X: xc, TraceID: r.traceID}}
 	}
+}
+
+// dumpFlight fires one flight-recorder dump for the offending request,
+// attaching its rank-level spans when the session is traced.
+func (p *keyPool) dumpFlight(reason string, rec obs.RequestRecord, slot *sessionSlot) {
+	var events []obs.Event
+	if slot.tracer != nil {
+		events = slot.tracer.EventsFor(rec.TraceID)
+	}
+	// Dump errors (disk full, unwritable dir) must not fail the solve; the
+	// trigger count still advances inside Dump.
+	_, _ = p.svc.flight.Dump(reason, rec, events, p.svc.opts.Registry)
 }
 
 // solveOnce runs one request on the session. Without an injector this is a
@@ -338,6 +425,9 @@ func (p *keyPool) runBatch(sess *core.Session, batch []*request) {
 // draws a disjoint slice of the fault schedule, so transient storms clear.
 func (p *keyPool) solveOnce(sess *core.Session, r *request) (core.Result, []float64, error) {
 	m := &p.svc.m
+	// Stamp the request's trace ID onto the session world: every rank-level
+	// span of this solve (and of resilient retries) carries it.
+	sess.SetTraceID(r.traceID)
 	if p.svc.opts.Injector == nil {
 		res, x, err := sess.SolveContext(r.ctx, r.key.Method, r.req.B, r.req.X0)
 		m.solves.Inc()

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -99,6 +100,24 @@ type Options struct {
 	// CircuitCooldown is how long an open circuit quarantines its key
 	// (default 1s).
 	CircuitCooldown time.Duration
+
+	// TraceCapacity, when > 0, attaches a tracer to every session's world
+	// retaining this many events per rank, enabling request-scoped span
+	// trees and Perfetto export (WritePerfetto). 0 (the default) disables
+	// rank-level tracing; request records still flow to the flight recorder.
+	TraceCapacity int
+	// FlightRing sizes the always-on flight recorder's ring of recent
+	// request records (0 = obs.DefaultFlightRing).
+	FlightRing int
+	// FlightDir is the directory flight-recorder incident dumps are written
+	// to when a trigger fires (fault beyond budget, circuit opening, SLO
+	// breach). "" keeps the recorder purely in-memory: triggers are counted
+	// but no files are written.
+	FlightDir string
+	// LatencySLO, when > 0, is the per-request latency objective; a request
+	// finishing slower triggers a flight-recorder dump with reason
+	// "slo_breach". 0 disables the SLO trigger.
+	LatencySLO time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -172,6 +191,10 @@ type Response struct {
 	Result core.Result
 	// X is the solution vector (length = grid N).
 	X []float64
+	// TraceID is the request's trace ID: the key correlating this response
+	// with its rank-level spans in a Perfetto export and its record in the
+	// flight recorder.
+	TraceID uint64
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -207,7 +230,38 @@ type Service struct {
 	wg        sync.WaitGroup // worker goroutines
 	sessCount atomic.Int64   // sessions built across all keys
 
+	// flight is the always-on black box: every finished request's span
+	// summary lands in its ring, and incident triggers dump it.
+	flight *obs.FlightRecorder
+
+	// sessMu guards sess, the registry of built sessions in build order —
+	// the stable session indices Perfetto export and request records use.
+	sessMu sync.Mutex
+	sess   []*sessionSlot
+
 	m metrics
+}
+
+// sessionSlot is the service-level record of one built session. mu
+// serializes solving against trace export: a worker holds it for the length
+// of one batch, WritePerfetto holds it while snapshotting the session's
+// rings (the per-rank ring buffers are single-writer with no internal
+// synchronization, so an export racing a solve would read torn events).
+type sessionSlot struct {
+	idx    int
+	key    Key
+	tracer *obs.Tracer
+	ranks  int
+	mu     sync.Mutex
+}
+
+// registerSession appends a slot and returns it; idx is its build order.
+func (s *Service) registerSession(key Key, tr *obs.Tracer, ranks int) *sessionSlot {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sl := &sessionSlot{idx: len(s.sess), key: key, tracer: tr, ranks: ranks}
+	s.sess = append(s.sess, sl)
+	return sl
 }
 
 type metrics struct {
@@ -223,6 +277,7 @@ type metrics struct {
 	circuitShed *obs.Counter
 	sessions    *obs.Gauge
 	queueMax    *obs.Gauge
+	queueDepth  *obs.Gauge
 	latency     *obs.Histogram
 	queueWait   *obs.Histogram
 	batchSize   *obs.Histogram
@@ -250,7 +305,10 @@ func New(opts Options) *Service {
 			recovered:   r.Counter("serve_recovered_total", "requests rescued by a retry"),
 			circuitShed: r.Counter("serve_circuit_shed_total", "requests rejected with ErrCircuitOpen"),
 			sessions:    r.Gauge("serve_sessions", "warmed sessions across all keys"),
-			queueMax:    r.Gauge("serve_queue_depth_peak", "deepest queue observed at admission"),
+			queueMax: r.Gauge("serve_queue_depth_peak",
+				"deepest queue observed at admission since service start; high-water mark only, never resets or decays"),
+			queueDepth: r.Gauge("serve_queue_depth",
+				"current queue depth, sampled at enqueue and dequeue"),
 			latency: r.Histogram("serve_latency_seconds", "request latency (admission to response)",
 				[]float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1, 3, 10}),
 			queueWait: r.Histogram("serve_queue_wait_seconds", "time between admission and solve start",
@@ -259,6 +317,7 @@ func New(opts Options) *Service {
 				[]float64{1, 2, 4, 8, 16, 32}),
 		},
 	}
+	s.flight = obs.NewFlightRecorder(o.FlightRing, o.FlightDir)
 	return s
 }
 
@@ -285,9 +344,18 @@ func normalize(req *Request) (Key, error) {
 // Solve submits one request and blocks until its solve completes, the
 // context is done, or the request is shed. Safe for concurrent use. The
 // returned Response.X is an independent copy of the solution.
+//
+// Every request gets a trace ID — the one carried by ctx
+// (obs.ContextWithTraceID) when present, a fresh one otherwise — returned in
+// Response.TraceID and stamped onto every rank-level span the solve emits.
 func (s *Service) Solve(ctx context.Context, req Request) (Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	start := time.Now()
+	traceID := obs.TraceIDFromContext(ctx)
+	if traceID == 0 {
+		traceID = obs.NewTraceID()
 	}
 	s.m.requests.Inc()
 	key, err := normalize(&req)
@@ -317,7 +385,8 @@ func (s *Service) Solve(ctx context.Context, req Request) (Response, error) {
 			len(req.X0), p.n(), key.Grid, core.ErrBadSpec)
 	}
 
-	r := &request{ctx: ctx, req: req, key: key, resp: make(chan result, 1), enqueued: time.Now()}
+	r := &request{ctx: ctx, req: req, key: key, resp: make(chan result, 1),
+		traceID: traceID, start: start, enqueued: time.Now()}
 
 	s.mu.RLock()
 	if s.closed {
@@ -333,6 +402,7 @@ func (s *Service) Solve(ctx context.Context, req Request) (Response, error) {
 	}
 	depth := len(p.queue)
 	s.mu.RUnlock()
+	s.m.queueDepth.Set(float64(depth))
 	if float64(depth) > s.m.queueMax.Value() {
 		s.m.queueMax.Set(float64(depth))
 	}
@@ -413,6 +483,44 @@ func (s *Service) Grids() []string {
 
 // Registry returns the metrics registry the service reports into.
 func (s *Service) Registry() *obs.Registry { return s.opts.Registry }
+
+// Flight returns the service's flight recorder (always non-nil).
+func (s *Service) Flight() *obs.FlightRecorder { return s.flight }
+
+// WritePerfetto exports every session's rank-level spans plus the flight
+// recorder's request records as Chrome trace-event JSON (one Perfetto
+// process per session, one thread per rank, the serve layer on its own
+// process). It briefly serializes against each session's worker — export
+// waits for in-flight batches so the single-writer rings are quiescent when
+// read — and publishes ring-drop totals into obs_trace_dropped_total.
+// Sessions built without tracing (Options.TraceCapacity == 0) contribute
+// only request records.
+func (s *Service) WritePerfetto(w io.Writer) error {
+	s.sessMu.Lock()
+	slots := append([]*sessionSlot(nil), s.sess...)
+	s.sessMu.Unlock()
+	var tracks []obs.Track
+	var dropped int64
+	for _, sl := range slots {
+		if sl.tracer == nil {
+			continue
+		}
+		sl.mu.Lock()
+		sl.tracer.ExportDropped(s.opts.Registry)
+		dropped += sl.tracer.Dropped()
+		for rid := 0; rid < sl.ranks; rid++ {
+			tracks = append(tracks, obs.Track{
+				Process: fmt.Sprintf("session %d %s", sl.idx, sl.key),
+				PID:     sl.idx + 1,
+				Thread:  fmt.Sprintf("rank %d", rid),
+				TID:     rid,
+				Events:  sl.tracer.Rank(rid).Events(),
+			})
+		}
+		sl.mu.Unlock()
+	}
+	return obs.WritePerfetto(w, tracks, s.flight.Recent(), dropped)
+}
 
 // Close drains the service: new requests are rejected with ErrClosed,
 // already-queued requests are still solved, and Close returns when every

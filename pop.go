@@ -29,6 +29,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/grid"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -97,6 +98,26 @@ type (
 	ServeResponse = serve.Response
 	// ServiceStats is a snapshot of a Service's counters.
 	ServiceStats = serve.Stats
+
+	// MetricsRegistry is the metrics registry a Service reports into
+	// (counters, gauges, histograms with Prometheus text exposition).
+	MetricsRegistry = obs.Registry
+	// FlightRecorder is the always-on bounded ring of recent request span
+	// summaries a Service dumps on incidents (Service.Flight).
+	FlightRecorder = obs.FlightRecorder
+	// FlightDump is the JSON document one flight-recorder incident file
+	// holds: trigger reason, offending request, its spans, the recent ring,
+	// and a metrics snapshot.
+	FlightDump = obs.FlightDump
+	// RequestRecord is one request's span summary: trace ID, per-phase wall
+	// durations, and the solve's virtual-time statistics.
+	RequestRecord = obs.RequestRecord
+	// Attribution is a request's critical-path decomposition (admit, queue,
+	// batch wait, compute, halo, reduce, straggler slack).
+	Attribution = obs.Attribution
+	// PerfettoTrace is a parsed Perfetto/Chrome trace-event export
+	// (Service.WritePerfetto output, read back with ReadPerfetto).
+	PerfettoTrace = obs.PerfettoTrace
 )
 
 // Solver methods. The zero value is ChronGear, POP's production solver.
@@ -181,6 +202,28 @@ func ParsePrecond(s string) (Precond, error) { return core.ParsePrecond(s) }
 // NewService starts a concurrent solve service: Solve from any number of
 // goroutines; Close drains it. See cmd/popserver for the HTTP front end.
 func NewService(opts ServiceOptions) *Service { return serve.New(opts) }
+
+// NewTraceID allocates a fresh request trace ID (monotone, deterministic —
+// never derived from time or randomness).
+func NewTraceID() uint64 { return obs.NewTraceID() }
+
+// ContextWithTraceID attaches a caller-chosen trace ID to ctx; a Service
+// solve under that context stamps the ID onto every rank-level span it
+// emits and returns it in ServeResponse.TraceID.
+func ContextWithTraceID(ctx context.Context, id uint64) context.Context {
+	return obs.ContextWithTraceID(ctx, id)
+}
+
+// TraceIDFromContext returns the trace ID attached to ctx, 0 when absent.
+func TraceIDFromContext(ctx context.Context) uint64 { return obs.TraceIDFromContext(ctx) }
+
+// ReadPerfetto parses a Perfetto/Chrome trace-event export produced by
+// Service.WritePerfetto (or popserver's /debug/trace endpoint).
+func ReadPerfetto(r io.Reader) (*PerfettoTrace, error) { return obs.ReadPerfetto(r) }
+
+// AttributeRecord decomposes one request record into its critical-path
+// attribution — the computation cmd/poptrace prints.
+func AttributeRecord(rec RequestRecord) Attribution { return obs.AttributeRecord(rec) }
 
 // Preset grid names for NewGrid (and Service requests).
 const (

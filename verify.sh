@@ -66,6 +66,20 @@ go test -race -count=1 \
     -run 'TestPooledSolvesBitwiseIdenticalToSerial|TestOverloadShedsNeverBlocks|TestBatchingCoalesces|TestDeadlineExpiryMidSolve|TestExpiredInQueueSkipped|TestGracefulDrain' \
     ./internal/serve/
 
+echo "== request tracing gates (race) =="
+# End-to-end tracing invariants: one traced request's seven-phase
+# attribution sums to within 5% of measured latency, tracing leaves
+# solutions bitwise identical, incident triggers dump the flight recorder
+# with the offending request's spans, Perfetto export survives concurrent
+# load, span recording stays zero-alloc, and the Prometheus exposition
+# escapes hostile HELP/label content.
+go test -race -count=1 \
+    -run 'TestTracedRequestAttribution|TestTracingDoesNotPerturbSolutions|TestFlightDump|TestPerfettoExportDuringLoad|TestTraceDroppedExported|TestQueueDepthMetrics' \
+    ./internal/serve/
+go test -race -count=1 \
+    -run 'TestPerfettoRoundTrip|TestSpanRecordZeroAlloc|TestExportDroppedCounter|TestPrometheusEscapingConformance|TestConcurrentRegistryRegistration|TestFlight' \
+    ./internal/obs/
+
 echo "== popsolve telemetry smoke run =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -96,6 +110,20 @@ grep -q '^# TYPE popsolve_iterations_total counter' "$tmp/m.prom"
 grep -q '^popsolve_converged 1' "$tmp/m.prom"
 grep -q 'popsolve_reduce_wait_seconds_bucket{le="+Inf"}' "$tmp/m.prom"
 
+echo "== traced serve -> Perfetto -> poptrace smoke run =="
+# The full observability pipeline: a traced service load phase exports a
+# Perfetto file that poptrace decomposes into a non-empty critical path.
+go run ./cmd/popbench -serve -servesec 2 -reportdir "$tmp" \
+    -perfetto "$tmp/trace.json" > "$tmp/serve.txt"
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' "$tmp/trace.json"
+go run ./cmd/poptrace "$tmp/trace.json" > "$tmp/poptrace.txt"
+grep -q 'per-request critical path' "$tmp/poptrace.txt"
+grep -q 'aggregate critical path' "$tmp/poptrace.txt"
+grep -q 'straggler league' "$tmp/poptrace.txt"
+# The aggregate line must attribute a nonzero number of requests.
+grep -q 'aggregate critical path (0 requests' "$tmp/poptrace.txt" && {
+    echo "poptrace saw no requests"; exit 1; }
+
 echo "== popserver HTTP smoke run =="
 addr=127.0.0.1:18411
 go build -o "$tmp/popserver" ./cmd/popserver
@@ -116,6 +144,12 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/solve" \
     -d '{"method":"warp","rhs":"smooth"}')
 [ "$code" = 400 ] || { echo "bad method gave $code, want 400"; exit 1; }
 curl -fs "http://$addr/metrics" | grep -q '^serve_solves_total'
+curl -fs "http://$addr/metrics" | grep -q '^serve_queue_depth '
+# The live Perfetto export parses and carries the solve's request record.
+curl -fs "http://$addr/debug/trace" > "$tmp/server-trace.json"
+python3 -c 'import json,sys; t=json.load(open(sys.argv[1])); assert t["popRequests"], "no request records"' \
+    "$tmp/server-trace.json"
+curl -fs "http://$addr/debug/flight" | grep -q '"recent"'
 # /stats reports build + capability info alongside the counters.
 curl -fs "http://$addr/stats" > "$tmp/stats.json"
 grep -q '"go_version":"go' "$tmp/stats.json"
