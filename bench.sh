@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench.sh — run the kernel-level microbenchmarks (stencil apply, halo
-# exchange, global reductions, steady-state solves) with allocation
-# reporting, and distill the results into BENCH_kernels.json so allocation
-# or wall-clock regressions in the zero-allocation steady-state machinery
+# exchange, global reductions, steady-state solves) and the multi-core
+# scaling matrix (worker shards × precision), with allocation reporting,
+# and distill the results into BENCH_kernels.json so allocation or
+# wall-clock regressions in the zero-allocation steady-state machinery
 # are visible as a diff.
 #
 # Usage: ./bench.sh [count]   (count = benchmark repetitions, default 3)
@@ -16,11 +17,12 @@ trap 'rm -rf "$raw"' EXIT
 
 echo "== kernel benchmarks (-benchmem, count=$count) =="
 go test -run '^$' \
-    -bench 'BenchmarkStencilApply|BenchmarkHaloExchange|BenchmarkAllReduce64Ranks|BenchmarkReduce$|BenchmarkSolveSteadyState' \
+    -bench 'BenchmarkStencilApply|BenchmarkHaloExchange|BenchmarkAllReduce64Ranks|BenchmarkReduce$|BenchmarkSolveSteadyState|BenchmarkSolveScaling' \
     -benchmem -benchtime=200ms -count="$count" . | tee "$raw"
 
-python3 - "$raw" "$count" > "$out" <<'EOF'
-import json, re, sys
+go_version=$(go env GOVERSION)
+python3 - "$raw" "$count" "$go_version" > "$out" <<'EOF'
+import json, os, re, sys
 
 # Lines look like:
 #   BenchmarkHaloExchange   	    1234	     19876 ns/op	    4528 B/op	      68 allocs/op
@@ -50,7 +52,52 @@ for name, rs in sorted(runs.items()):
         "runs": len(rs),
     }
 
+# Hardware header: wall-clock numbers are only comparable between runs
+# with equal hardware, so every report records its execution context.
+ncpu = os.cpu_count() or 1
+gomaxprocs = int(os.environ.get("GOMAXPROCS", ncpu))
+hardware = {"go_version": sys.argv[3], "gomaxprocs": gomaxprocs,
+            "num_cpu": ncpu, "worker_shards": gomaxprocs}
+
+# Scaling section: the BenchmarkSolveScaling/<prec>/threads=<n> matrix
+# distilled into per-precision curves plus derived speedups. The solves
+# are fixed-length (60 iterations), so ns ratios are clean.
+scaling = {}
+for prec in ("fp64", "fp32"):
+    curve = {}
+    for n in (1, 2, 4, 8):
+        e = bench.get(f"BenchmarkSolveScaling/{prec}/threads={n}")
+        if e:
+            curve[str(n)] = e["ns_per_op_median"]
+    if curve:
+        scaling[prec] = curve
+if scaling:
+    s = {"curves_ns": scaling}
+    fp64 = scaling.get("fp64", {})
+    if "1" in fp64 and "4" in fp64:
+        s["fp64_speedup_4_workers"] = fp64["1"] / fp64["4"]
+    if "1" in scaling.get("fp32", {}) and "1" in fp64:
+        s["fp32_over_fp64_1_worker"] = scaling["fp32"]["1"] / fp64["1"]
+    # The ≥2× at 4 workers acceptance gate needs 4 real cores to mean
+    # anything; on smaller machines the curve is recorded, not gated.
+    s["speedup_gate_active"] = ncpu >= 4 and gomaxprocs >= 4
+    if s["speedup_gate_active"]:
+        sp = s.get("fp64_speedup_4_workers", 0.0)
+        s["speedup_gate_ok"] = sp >= 2.0
+        if not s["speedup_gate_ok"]:
+            print(f"bench.sh: fp64 speedup at 4 workers {sp:.2f}x below the 2x gate",
+                  file=sys.stderr)
+            json.dump({"benchtime": "200ms", "count": int(sys.argv[2]),
+                       "hardware": hardware, "scaling": s,
+                       "benchmarks": bench}, sys.stdout, indent=2)
+            print()
+            sys.exit(1)
+    scaling_out = s
+else:
+    scaling_out = None
+
 json.dump({"benchtime": "200ms", "count": int(sys.argv[2]),
+           "hardware": hardware, "scaling": scaling_out,
            "benchmarks": bench}, sys.stdout, indent=2)
 print()
 EOF

@@ -8,12 +8,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/experiments"
 )
 
 // chaosReport is the machine-readable result of `popbench -chaos`, written
@@ -21,15 +21,15 @@ import (
 // closed-loop phase per fault class, each on a fresh service wired to a
 // deterministic injector for that class alone.
 type chaosReport struct {
-	Name      string       `json:"name"`
-	Timestamp string       `json:"timestamp"`
-	GoVersion string       `json:"go_version"`
-	Grid      string       `json:"grid"`
-	Method    string       `json:"method"`
-	Precond   string       `json:"precond"`
-	Clients   int          `json:"clients"`
-	Baseline  chaosPhase   `json:"baseline"`
-	Classes   []chaosPhase `json:"classes"`
+	Name      string               `json:"name"`
+	Timestamp string               `json:"timestamp"`
+	Hardware  experiments.Hardware `json:"hardware"`
+	Grid      string               `json:"grid"`
+	Method    string               `json:"method"`
+	Precond   string               `json:"precond"`
+	Clients   int                  `json:"clients"`
+	Baseline  chaosPhase           `json:"baseline"`
+	Classes   []chaosPhase         `json:"classes"`
 }
 
 // chaosPhase is one closed-loop window. Recovered/Retried/Faulted come from
@@ -167,7 +167,7 @@ func runChaosBench(dir string, seconds float64, clients int, out io.Writer) erro
 	rep := chaosReport{
 		Name:      "chaos",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
+		Hardware:  experiments.DetectHardware(0),
 		Grid:      gridName,
 		Method:    method.String(),
 		Precond:   precond.String(),

@@ -9,13 +9,13 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro"
+	"repro/internal/experiments"
 )
 
 // serveReport is the machine-readable result of `popbench -serve`,
@@ -23,17 +23,17 @@ import (
 // Overload drives a deliberately tiny queue past capacity to demonstrate
 // shedding with ErrOverloaded instead of blocking.
 type serveReport struct {
-	Name      string           `json:"name"`
-	Timestamp string           `json:"timestamp"`
-	GoVersion string           `json:"go_version"`
-	Grid      string           `json:"grid"`
-	Method    string           `json:"method"`
-	Precond   string           `json:"precond"`
-	Load      loadPhase        `json:"load"`
-	Overload  overloadPhase    `json:"overload"`
-	Service   pop.ServiceStats `json:"service_counters"`
-	TargetOK  bool             `json:"target_ok"` // ≥ TargetRate solves/s sustained
-	Target    float64          `json:"target_solves_per_sec"`
+	Name      string               `json:"name"`
+	Timestamp string               `json:"timestamp"`
+	Hardware  experiments.Hardware `json:"hardware"`
+	Grid      string               `json:"grid"`
+	Method    string               `json:"method"`
+	Precond   string               `json:"precond"`
+	Load      loadPhase            `json:"load"`
+	Overload  overloadPhase        `json:"overload"`
+	Service   pop.ServiceStats     `json:"service_counters"`
+	TargetOK  bool                 `json:"target_ok"` // ≥ TargetRate solves/s sustained
+	Target    float64              `json:"target_solves_per_sec"`
 }
 
 type loadPhase struct {
@@ -155,7 +155,7 @@ func runServeBench(dir string, seconds float64, clients int, perfettoPath string
 	rep := serveReport{
 		Name:      "serve",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
+		Hardware:  experiments.DetectHardware(0),
 		Grid:      gridName,
 		Method:    method.String(),
 		Precond:   precond.String(),
@@ -217,14 +217,14 @@ func runServeBench(dir string, seconds float64, clients int, perfettoPath string
 
 // runOverloadPhase drives a deliberately tiny queue (capacity 2, one
 // un-batched worker, slow ill-conditioned solves) with a synchronized
-// burst so admission control must shed. Needs ≥2 scheduler threads:
-// under GOMAXPROCS=1 the channel hand-off serializes caller and worker
-// and the queue never fills.
+// burst so admission control must shed. Threads=1 makes the worker's
+// rank execution cooperative — every halo token handoff is a scheduling
+// point — so caller goroutines fill the queue mid-solve even under
+// GOMAXPROCS=1 (previously forced to ≥2 scheduler threads by hand).
 func runOverloadPhase(out io.Writer) (overloadPhase, error) {
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(2, runtime.GOMAXPROCS(0))))
-
 	svc := pop.NewService(pop.ServiceOptions{
 		Tau:               200000, // ill-conditioned: slow solves hold the queue full
+		Threads:           1,
 		MaxSessionsPerKey: 1,
 		MaxQueue:          2,
 		MaxBatch:          1,

@@ -24,6 +24,7 @@ func main() {
 		solver     = flag.String("solver", "chrongear", "barotropic solver: chrongear, pcg, pcsi")
 		precond    = flag.String("precond", "diagonal", "preconditioner: diagonal, evp, none, blocklu")
 		every      = flag.Float64("report", 1, "report interval (days)")
+		threads    = flag.Int("threads", 0, "worker shards: max virtual ranks running concurrently (0 = GOMAXPROCS)")
 		traceOut   = flag.String("trace", "", "write JSONL span/event trace to this file")
 		metricsOut = flag.String("metrics", "", "write Prometheus-style metrics to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -42,6 +43,7 @@ func main() {
 		Dt:         *dt,
 		Solver:     model.SolverName(*solver),
 		SolverOpts: core.Options{Precond: pc},
+		Threads:    *threads,
 	})
 	fatalIf(err)
 

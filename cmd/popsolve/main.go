@@ -25,6 +25,8 @@ func main() {
 		method     = flag.String("method", "chrongear", "solver: chrongear, pcg, pcsi, csi")
 		precond    = flag.String("precond", "diagonal", "preconditioner: diagonal, evp, blocklu, none")
 		cores      = flag.Int("cores", 0, "virtual core count (0 = single rank)")
+		threads    = flag.Int("threads", 0, "worker shards: max virtual ranks running concurrently (0 = GOMAXPROCS)")
+		precision  = flag.String("precision", "float64", "iteration arithmetic: float64, float32 (mixed-precision iterative refinement)")
 		machine    = flag.String("machine", "yellowstone", "machine model: yellowstone, edison, ideal, or empty")
 		tol        = flag.Float64("tol", 1e-13, "relative convergence tolerance")
 		tau        = flag.Float64("tau", 1920, "barotropic time step (s)")
@@ -43,14 +45,17 @@ func main() {
 	fatalIf(err)
 	pc, err := pop.ParsePrecond(*precond)
 	fatalIf(err)
+	prec, err := pop.ParsePrecision(*precision)
+	fatalIf(err)
 	solver, err := pop.NewSolver(g, pop.SolverSpec{
-		Method: m, Precond: pc, Cores: *cores,
+		Method: m, Precond: pc, Cores: *cores, Threads: *threads,
 		MachineName: *machine, Tau: *tau,
-		Options: pop.SolverOptions{Tol: *tol},
+		Options: pop.SolverOptions{Tol: *tol, Precision: prec},
 	})
 	fatalIf(err)
-	fmt.Printf("solver %s+%s on %d virtual cores\n",
-		solver.Spec.Method, solver.Spec.Precond, solver.Cores)
+	fmt.Printf("solver %s+%s on %d virtual cores (%d worker shards, %s)\n",
+		solver.Spec.Method, solver.Spec.Precond, solver.Cores,
+		solver.Session.W.EffectiveThreads(), prec)
 
 	var tracer *obs.Tracer
 	if *traceOut != "" {
@@ -89,6 +94,10 @@ func main() {
 	}
 	fmt.Printf("converged=%v iterations=%d rel_residual=%.3g max_error=%.3g\n",
 		res.Converged, res.Iterations, res.RelResidual, maxErr)
+	if res.Precision == pop.Float32 {
+		fmt.Printf("mixed precision: %d refinement passes, %d float32 inner iterations\n",
+			res.OuterIters, res.Iterations)
+	}
 	if res.EigSteps > 0 {
 		fmt.Printf("lanczos: %d steps, interval [%.4g, %.4g]\n", res.EigSteps, res.Nu, res.Mu)
 	}

@@ -4,7 +4,9 @@
 // attribution the SC15 analysis rests on: where each request's wall time
 // went — queue, batch wait, compute, halo exchange, global reduction, and
 // straggler slack — plus a per-rank straggler league table identifying
-// which ranks set the reductions' critical paths.
+// which ranks set the reductions' critical paths, annotated with the worker
+// shard each rank executed on and rolled up per shard (the hardware-
+// parallelism view: how virtual ranks were packed onto worker shards).
 //
 //	poptrace trace.json
 //	poptrace -top 5 -league 8 trace.json
@@ -133,15 +135,62 @@ func reportLeague(pt *obs.PerfettoTrace, limit int) error {
 		n = limit
 	}
 	fmt.Printf("\nstraggler league (top %d of %d ranks by reductions straggled):\n", n, len(rows))
-	fmt.Printf("  %-6s %9s %10s %7s %12s %12s\n",
-		"rank", "reduces", "straggled", "share", "wait-mean", "wait-total")
+	fmt.Printf("  %-6s %-6s %9s %10s %7s %12s %12s\n",
+		"rank", "shard", "reduces", "straggled", "share", "wait-mean", "wait-total")
 	for _, r := range rows[:n] {
 		share := 0.0
 		if r.Reduces > 0 {
 			share = float64(r.Straggled) / float64(r.Reduces) * 100
 		}
-		fmt.Printf("  %-6d %9d %10d %6.1f%% %10.3fµs %10.3fms\n",
-			r.Rank, r.Reduces, r.Straggled, share, r.WaitMean*1e6, r.WaitTotal*1e3)
+		shard := "-"
+		if r.Shard >= 0 {
+			shard = fmt.Sprintf("%d", r.Shard)
+		}
+		fmt.Printf("  %-6d %-6s %9d %10d %6.1f%% %10.3fµs %10.3fms\n",
+			r.Rank, shard, r.Reduces, r.Straggled, share, r.WaitMean*1e6, r.WaitTotal*1e3)
 	}
+	reportShards(rows)
 	return nil
+}
+
+// reportShards rolls the league up by worker shard: how the virtual ranks
+// were packed onto hardware shards and where the reduction wait concentrated.
+// Silent when the trace carries no shard attribution (run_begin markers
+// absent or unstamped).
+func reportShards(rows []obs.LeagueRow) {
+	type agg struct {
+		ranks, reduces, straggled int
+		wait                      float64
+	}
+	byShard := make(map[int]*agg)
+	for _, r := range rows {
+		if r.Shard < 0 {
+			return
+		}
+		a := byShard[r.Shard]
+		if a == nil {
+			a = &agg{}
+			byShard[r.Shard] = a
+		}
+		a.ranks++
+		a.reduces += r.Reduces
+		a.straggled += r.Straggled
+		a.wait += r.WaitTotal
+	}
+	if len(byShard) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(byShard))
+	for id := range byShard {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Printf("\nworker-shard rollup (%d shards):\n", len(ids))
+	fmt.Printf("  %-6s %6s %9s %10s %12s\n",
+		"shard", "ranks", "reduces", "straggled", "wait-total")
+	for _, id := range ids {
+		a := byShard[id]
+		fmt.Printf("  %-6d %6d %9d %10d %10.3fms\n",
+			id, a.ranks, a.reduces, a.straggled, a.wait*1e3)
+	}
 }

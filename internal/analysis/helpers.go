@@ -20,6 +20,7 @@ var collectiveMethods = map[string]bool{
 	"AllReduceOverlap": true,
 	"Barrier":          true,
 	"Exchange":         true,
+	"Exchange32":       true,
 	"ExchangeMulti":    true,
 }
 

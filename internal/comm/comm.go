@@ -118,6 +118,11 @@ type World struct {
 	// every run of a program remains bitwise identical to the previous one.
 	faultEpoch int64
 
+	// threads is the worker-shard knob (see SetThreads; 0 = GOMAXPROCS) and
+	// sched the cached shard scheduler for the current effective count.
+	threads int
+	sched   *sched
+
 	reduceCh []chan []float64 // per-rank outbox for the reduction up-phase
 	bcastCh  []chan []float64 // per-rank inbox for the broadcast down-phase
 
@@ -140,7 +145,12 @@ type World struct {
 	//   reduceParent/reduceKids[rank] are the rank's neighbours in the fixed
 	//   binomial reduction tree (parent −1 at the root; children in
 	//   low-step-first fold order), computed once instead of per call.
+	//
+	//   plans32 is the float32 twin of plans (mixed-precision inner solves
+	//   exchange float32 fields over their own channels and pools — see
+	//   halo32.go).
 	plans        [][2]phasePlan
+	plans32      [][2]phasePlan32
 	blockPos     []int
 	reducePart   [][]float64
 	reduceRoot   [2][]float64
@@ -226,6 +236,7 @@ func NewWorld(d *decomp.Decomposition, cost CostModel) (*World, error) {
 		}
 	}
 	w.buildPlans()
+	w.buildPlans32()
 	return w, nil
 }
 
@@ -253,6 +264,12 @@ type Rank struct {
 	// only, never for cost-model draws.
 	faultBase int64
 	trace     *obs.RankTrace // nil when the World has no tracer
+
+	// shard is the worker shard this rank executes on; token is the shard's
+	// run token (nil when the run is unsharded — see sched.go). A rank holds
+	// its token while executing and yields it around blocking receives.
+	shard int
+	token chan struct{}
 
 	// reduceFailed is set by AllReduce when the fault injector failed the
 	// last reduction; resilient callers poll it via ReduceFailed and retry.
@@ -396,24 +413,37 @@ func (w *World) TraceID() uint64 { return w.traceID }
 // Run executes program on every rank concurrently and returns aggregated
 // statistics. Programs must make collective calls (AllReduce, Exchange,
 // Barrier) in the same order on every rank, exactly as MPI requires.
+//
+// Hardware mapping: when the effective thread count (SetThreads, default
+// GOMAXPROCS) is below the rank count, ranks are sharded and at most one
+// rank per shard executes at a time (see sched.go); otherwise every rank
+// gets an unrestricted goroutine as before. Solutions and virtual clocks
+// are bitwise identical either way.
 func (w *World) Run(program func(*Rank)) Stats {
 	// Fault-draw salt for this run (see World.faultEpoch). The shift leaves
 	// 2³² per-run sequence numbers before epochs could collide — far beyond
 	// any solve's site count.
 	base := w.faultEpoch << 32
 	w.faultEpoch++
+	sc := w.scheduler(w.EffectiveThreads())
 	ranks := make([]*Rank, w.NRank)
 	for rid := 0; rid < w.NRank; rid++ {
 		blocks := make([]*decomp.Block, len(w.D.ByRank[rid]))
 		for i, bid := range w.D.ByRank[rid] {
 			blocks[i] = &w.D.Blocks[bid]
 		}
-		ranks[rid] = &Rank{ID: rid, World: w, Blocks: blocks, faultBase: base}
+		ranks[rid] = &Rank{ID: rid, World: w, Blocks: blocks, faultBase: base,
+			shard: rid}
+		if sc != nil {
+			ranks[rid].shard = sc.shardOf[rid]
+			ranks[rid].token = sc.tokens[ranks[rid].shard]
+		}
 		if w.Tracer.Enabled() {
 			ranks[rid].trace = w.Tracer.Rank(rid)
 			ranks[rid].trace.SetTraceID(w.traceID)
 			ranks[rid].trace.Add(obs.Event{Name: obs.EvRunBegin, Point: true,
-				Value: float64(w.NRank), Iter: -1, Straggler: -1})
+				Value: float64(w.NRank), Aux: float64(ranks[rid].shard),
+				Iter: -1, Straggler: -1})
 		}
 	}
 	if w.NRank == 1 {
@@ -424,6 +454,12 @@ func (w *World) Run(program func(*Rank)) Stats {
 		for _, rk := range ranks {
 			go func(rk *Rank) {
 				defer wg.Done()
+				if rk.token != nil {
+					<-rk.token
+					program(rk)
+					rk.token <- struct{}{}
+					return
+				}
 				program(rk)
 			}(rk)
 		}

@@ -24,11 +24,13 @@ import (
 //
 // The pool channel provides the happens-before edge that makes buffer reuse
 // race-free: a sender writes a buffer only after the receiver's return-send,
-// which the receiver performs only after it finished reading. Two buffers
-// per edge keep the data send non-blocking (a sender can be at most one
-// phase ahead of its neighbour — it cannot enter phase k+1 until the
-// neighbour finished phase k−1, at which point the phase-k−1 buffer is back
-// in the pool). Buffers are sized for single-level exchanges and grow once
+// which the receiver performs only after it finished reading. The data
+// channel's capacity equals the pool size (two), so a send can never block:
+// every in-flight message wraps a pool buffer and channel occupancy is
+// bounded by the pool. The pool acquire is the only send-side wait, and it
+// yields the shard token (sched.go) while parked, so a rank starved of
+// buffers cannot stall its shard. Buffers are sized for single-level
+// exchanges and grow once
 // (amortized) on the first wider multi-level call; after that the exchange
 // path performs zero allocations.
 
@@ -93,7 +95,13 @@ func (w *World) buildPlans() {
 				continue
 			}
 			key := haloKey{id, side}
-			chans[key] = make(chan haloMsg, 1)
+			// Data-channel capacity equals the pool size: every in-flight
+			// message wraps a pool buffer, so occupancy can never exceed 2
+			// and the data send is non-blocking UNCONDITIONALLY — required
+			// by the shard scheduler, whose liveness argument (sched.go)
+			// needs ranks never to park holding a run token outside the
+			// yielding receives.
+			chans[key] = make(chan haloMsg, 2)
 			pool := make(chan []float64, 2)
 			stripLen := h * b.NyI
 			if side == SideN || side == SideS {
@@ -171,9 +179,10 @@ func (r *Rank) ExchangeMulti(levels [][][]float64) {
 }
 
 // exchangePhase executes one precomputed phase plan: sends first
-// (non-blocking: the data channels hold one message and each edge carries
-// exactly one per phase), then same-rank direct copies (free in the cost
-// model: intra-node), then receives.
+// (non-blocking: data-channel capacity matches the buffer pool, so the
+// channel always has room for every buffer the pool can hand out), then
+// same-rank direct copies (free in the cost model: intra-node), then
+// receives.
 //
 //pop:hotpath
 func (r *Rank) exchangePhase(levels [][][]float64, phase int) {
@@ -207,7 +216,7 @@ func (r *Rank) exchangePhase(levels [][][]float64, phase int) {
 
 	for ei := range plan.sends {
 		e := &plan.sends[ei]
-		buf := <-e.free
+		buf := recvYield(r, e.free)
 		need := nlv * e.stripLen
 		if cap(buf) < need {
 			buf = make([]float64, need)
@@ -235,7 +244,7 @@ func (r *Rank) exchangePhase(levels [][][]float64, phase int) {
 	var phaseBytes int64
 	for ei := range plan.recvs {
 		e := &plan.recvs[ei]
-		m := <-e.ch
+		m := recvYield(r, e.ch)
 		stripLen := len(m.data) / nlv
 		b := r.Blocks[e.bi]
 		if corrupt && ei == 0 {
@@ -289,10 +298,11 @@ func opposite(side int) int {
 // extractStripInto copies into s the interior edge strip that a neighbour on
 // the given side needs. E/W strips cover interior rows only; N/S strips span
 // the full padded width so corners propagate (two-phase scheme). "side" is
-// the side of THIS block from which data leaves.
+// the side of THIS block from which data leaves. Generic over the element
+// type so the float32 exchange path (halo32.go) shares the copy logic.
 //
 //pop:hotpath
-func extractStripInto(s, f []float64, nxi, nyi, h, side int) {
+func extractStripInto[F float32 | float64](s, f []F, nxi, nyi, h, side int) {
 	nxp := nxi + 2*h
 	switch side {
 	case SideW: // my west interior columns [h, 2h) → neighbour's east halo
@@ -319,7 +329,7 @@ func extractStripInto(s, f []float64, nxi, nyi, h, side int) {
 // this block.
 //
 //pop:hotpath
-func insertStrip(f []float64, nxi, nyi, h, side int, s []float64) {
+func insertStrip[F float32 | float64](f []F, nxi, nyi, h, side int, s []F) {
 	nxp := nxi + 2*h
 	switch side {
 	case SideE: // east halo columns [nxp-h, nxp)
@@ -349,7 +359,7 @@ func insertStrip(f []float64, nxi, nyi, h, side int, s []float64) {
 // by insertStrip would move it.
 //
 //pop:hotpath
-func copyStrip(dst []float64, dnxi, dnyi int, src []float64, snxi, snyi, h, side int) {
+func copyStrip[F float32 | float64](dst []F, dnxi, dnyi int, src []F, snxi, snyi, h, side int) {
 	dnxp := dnxi + 2*h
 	snxp := snxi + 2*h
 	switch side {

@@ -1,0 +1,204 @@
+package comm
+
+import (
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Float32 halo exchange: the single-precision twin of the path in halo.go,
+// used by the mixed-precision inner solvers (core.Options.Precision =
+// Float32). It is a separate plan set rather than a conversion shim so the
+// wire payload really is 4 bytes per element — the halved boundary-update
+// bandwidth is half of the mixed-precision speedup story, and the virtual
+// cost model prices it from the actual message size. Edge topology, phase
+// order, fault-draw sequence numbers, and clock arithmetic are identical to
+// the float64 path; only the element type and the bytes-per-element charge
+// differ. Both plan sets are built unconditionally at NewWorld: the fp32
+// pools are two short strips per cross-rank edge, too small to gate.
+
+// haloMsg32 is one in-flight float32 halo message.
+type haloMsg32 struct {
+	data  []float32
+	clock float64
+}
+
+// sendEdge32 / recvEdge32 mirror sendEdge / recvEdge with float32 channels
+// and pools. Local copies need no message, so phasePlan32 reuses localEdge.
+type sendEdge32 struct {
+	bi       int
+	side     int
+	stripLen int
+	ch       chan haloMsg32
+	free     chan []float32
+}
+
+type recvEdge32 struct {
+	bi   int
+	side int
+	ch   chan haloMsg32
+	free chan []float32
+}
+
+// phasePlan32 is one rank's float32 edge list for one exchange phase.
+type phasePlan32 struct {
+	sends  []sendEdge32
+	locals []localEdge
+	recvs  []recvEdge32
+}
+
+// buildPlans32 precomputes the float32 exchange plans. Structure matches
+// buildPlans exactly — see there for the capacity-2 liveness argument
+// (data-channel capacity equals pool size, so sends never block).
+func (w *World) buildPlans32() {
+	d := w.D
+	h := d.Halo
+	chans := make(map[haloKey]chan haloMsg32)
+	pools := make(map[haloKey]chan []float32)
+	for _, id := range d.OceanBlocks {
+		b := &d.Blocks[id]
+		for side, off := range sideOffsets {
+			nb := d.NeighborID(b, off[0], off[1])
+			if nb < 0 || d.Blocks[nb].Rank == b.Rank {
+				continue
+			}
+			key := haloKey{id, side}
+			chans[key] = make(chan haloMsg32, 2)
+			pool := make(chan []float32, 2)
+			stripLen := h * b.NyI
+			if side == SideN || side == SideS {
+				stripLen = h * (b.NxI + 2*h)
+			}
+			pool <- make([]float32, stripLen)
+			pool <- make([]float32, stripLen)
+			pools[key] = pool
+		}
+	}
+	w.plans32 = make([][2]phasePlan32, w.NRank)
+	for rid := 0; rid < w.NRank; rid++ {
+		for phase := 0; phase < 2; phase++ {
+			plan := &w.plans32[rid][phase]
+			for i, id := range d.ByRank[rid] {
+				b := &d.Blocks[id]
+				for _, side := range phaseSides[phase] {
+					off := sideOffsets[side]
+					nb := d.NeighborID(b, off[0], off[1])
+					if nb < 0 {
+						continue
+					}
+					if d.Blocks[nb].Rank == rid {
+						plan.locals = append(plan.locals, localEdge{
+							dstBI: i, srcBI: w.blockPos[nb], side: side})
+						continue
+					}
+					skey := haloKey{nb, opposite(side)}
+					stripLen := h * b.NyI
+					if side == SideN || side == SideS {
+						stripLen = h * (b.NxI + 2*h)
+					}
+					plan.sends = append(plan.sends, sendEdge32{
+						bi: i, side: side, stripLen: stripLen,
+						ch: chans[skey], free: pools[skey]})
+					rkey := haloKey{id, side}
+					plan.recvs = append(plan.recvs, recvEdge32{
+						bi: i, side: side, ch: chans[rkey], free: pools[rkey]})
+				}
+			}
+		}
+	}
+}
+
+// Exchange32 refreshes the halos of one distributed float32 field.
+// fields[i] is the padded local array for r.Blocks[i]. Collective: every
+// rank must call it in the same program order. Single-level only — the
+// mixed-precision inner solvers exchange one 2-D field at a time.
+//
+//pop:hotpath
+func (r *Rank) Exchange32(fields [][]float32) {
+	if len(fields) != len(r.Blocks) {
+		panic("comm: Exchange32 fields/blocks length mismatch")
+	}
+	r.exchangePhase32(fields, 0)
+	r.exchangePhase32(fields, 1)
+}
+
+// exchangePhase32 executes one float32 phase plan: non-blocking sends,
+// same-rank copies, then yielding receives — the float64 exchangePhase
+// with a 4-byte-per-element bandwidth charge. It shares haloSeq with the
+// float64 path so fault schedules stay aligned whichever precision a solve
+// runs in.
+//
+//pop:hotpath
+func (r *Rank) exchangePhase32(fields [][]float32, phase int) {
+	w := r.World
+	h := w.D.Halo
+	plan := &w.plans32[r.ID][phase]
+	entry := r.clock
+
+	haloSeq := r.faultBase + r.haloSeq
+	r.haloSeq++
+	var drop, corrupt bool
+	if w.Faults.Enabled() {
+		drop = w.Faults.DropHalo(r.ID, haloSeq)
+		if !drop {
+			corrupt = w.Faults.CorruptHalo(r.ID, haloSeq)
+		}
+		if (drop || corrupt) && r.trace != nil {
+			class := faults.HaloDrop
+			if corrupt {
+				class = faults.HaloCorrupt
+			}
+			r.trace.Add(obs.Event{Name: obs.EvFault, Point: true, T0: entry,
+				Value: float64(haloSeq), Aux: float64(class), Iter: -1, Straggler: -1})
+		}
+	}
+
+	for ei := range plan.sends {
+		e := &plan.sends[ei]
+		buf := recvYield(r, e.free)
+		b := r.Blocks[e.bi]
+		extractStripInto(buf[:e.stripLen], fields[e.bi], b.NxI, b.NyI, h, e.side)
+		e.ch <- haloMsg32{data: buf, clock: r.clock}
+	}
+
+	for _, le := range plan.locals {
+		dst := r.Blocks[le.dstBI]
+		src := r.Blocks[le.srcBI]
+		copyStrip(fields[le.dstBI], dst.NxI, dst.NyI,
+			fields[le.srcBI], src.NxI, src.NyI, h, le.side)
+	}
+
+	arrival := r.clock
+	var charge float64
+	var phaseBytes int64
+	for ei := range plan.recvs {
+		e := &plan.recvs[ei]
+		m := recvYield(r, e.ch)
+		b := r.Blocks[e.bi]
+		if corrupt && ei == 0 {
+			nan := float32(math.NaN())
+			for di := range m.data {
+				m.data[di] = nan
+			}
+		}
+		if !drop {
+			insertStrip(fields[e.bi], b.NxI, b.NyI, h, e.side, m.data)
+		}
+		e.free <- m.data
+		if m.clock > arrival {
+			arrival = m.clock
+		}
+		bytes := int64(len(m.data) * 4)
+		r.ctr.HaloMsgs++
+		r.ctr.HaloBytes += bytes
+		phaseBytes += bytes
+		charge += w.Cost.P2PTime(bytes)
+	}
+	r.clock = arrival + charge
+	r.ctr.THalo += r.clock - entry
+	if r.trace != nil {
+		r.trace.Add(obs.Event{Name: obs.EvHalo, T0: entry, T1: r.clock,
+			Value: float64(phaseBytes), Iter: -1, Straggler: -1})
+	}
+}

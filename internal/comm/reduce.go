@@ -87,7 +87,7 @@ func (r *Rank) AllReduce(vals []float64) []float64 {
 		// of the call — see NewWorld).
 		kids := w.reduceKids[r.ID]
 		for _, child := range kids {
-			m := <-w.reduceCh[child]
+			m := recvYield(r, w.reduceCh[child])
 			for i := 0; i < n; i++ {
 				partial[i] += m[i]
 			}
@@ -98,7 +98,7 @@ func (r *Rank) AllReduce(vals []float64) []float64 {
 		}
 		if parent := w.reduceParent[r.ID]; parent >= 0 {
 			w.reduceCh[r.ID] <- partial
-			result = <-w.bcastCh[r.ID]
+			result = recvYield(r, w.bcastCh[r.ID])
 		} else {
 			// Only the root's result escapes to other ranks, so only the
 			// root needs the parity pair (r.ID == 0 here, so r.reduceSeq

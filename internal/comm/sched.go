@@ -1,0 +1,131 @@
+package comm
+
+import "runtime"
+
+// Shard scheduler: real-hardware parallelism for the virtual-rank runtime.
+//
+// World.Run historically spawned one goroutine per virtual rank and let the
+// Go scheduler multiplex them over GOMAXPROCS threads. That is correct but
+// wasteful on real hardware: with hundreds of virtual ranks and a handful of
+// cores, every blocking collective churns runnable goroutines across cores
+// and each core's cache is trampled by whichever rank the scheduler lands on
+// it next. The shard scheduler bounds the damage: virtual ranks are split
+// into P contiguous shards (P = the Threads knob, default GOMAXPROCS) and at
+// most one rank per shard is executing at any instant, enforced by a
+// one-token channel per shard. Contiguity matters — ByRank assigns
+// neighbouring blocks to neighbouring ranks, so a shard's working set is a
+// connected patch of the grid and serializing the shard's ranks gives each
+// core temporal locality over one patch instead of the whole domain.
+//
+// Cooperative yield protocol. A rank holds its shard token while computing
+// and releases it around every potentially blocking channel receive (the
+// reduction up/down phases and the halo receive/pool paths — see recvYield
+// and recvYieldHalo). Sends never block by the buffer-pool protocol
+// (documented in halo.go and reduce.go), so a rank never sleeps while
+// holding a token, which is the whole liveness argument: the rank holding a
+// token either progresses or hands the token to a sibling before parking.
+// Mutex critical sections in rank programs (e.g. error recording in Setup)
+// contain no collective calls, so a token holder never blocks on a lock held
+// by a parked sibling.
+//
+// Determinism is untouched by construction. The reduction tree, halo edge
+// order, and every virtual-clock charge are functions of (decomposition,
+// sequence numbers) only — scheduling decides *when* a rank runs, never
+// *what* it computes — so fp64 solutions and golden traces are bitwise
+// identical across any Threads setting (verify.sh gates this).
+
+// sched is one Run's shard assignment: a one-token channel per shard and the
+// rank→shard map. It is cached on the World and rebuilt only when the
+// effective thread count changes, so steady-state Runs allocate nothing for
+// scheduling.
+type sched struct {
+	threads int
+	shardOf []int           // rank ID → shard index
+	tokens  []chan struct{} // per-shard run token, capacity 1, initially full
+}
+
+// newSched builds the shard map for nrank virtual ranks over p shards using
+// the contiguous block layout: shard s owns ranks [s·nrank/p, (s+1)·nrank/p).
+func newSched(nrank, p int) *sched {
+	s := &sched{
+		threads: p,
+		shardOf: make([]int, nrank),
+		tokens:  make([]chan struct{}, p),
+	}
+	for sh := range s.tokens {
+		s.tokens[sh] = make(chan struct{}, 1)
+		s.tokens[sh] <- struct{}{}
+	}
+	for rid := 0; rid < nrank; rid++ {
+		s.shardOf[rid] = rid * p / nrank
+	}
+	return s
+}
+
+// SetThreads sets the worker-shard count for subsequent Runs: at most n
+// virtual ranks execute concurrently. n ≤ 0 restores the default
+// (GOMAXPROCS at Run entry); n ≥ NRank disables sharding entirely (the
+// legacy goroutine-per-rank path, zero scheduling overhead). Must not be
+// called while a Run is in flight. Solutions are bitwise identical across
+// all settings; only wall-clock and cache behavior change.
+func (w *World) SetThreads(n int) { w.threads = n }
+
+// Threads returns the configured worker-shard knob (0 = auto/GOMAXPROCS).
+func (w *World) Threads() int { return w.threads }
+
+// EffectiveThreads resolves the knob against the machine and the rank
+// count: the shard count the next Run will actually use (Threads, defaulted
+// to GOMAXPROCS, clamped to [1, NRank]).
+func (w *World) EffectiveThreads() int {
+	p := w.threads
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > w.NRank {
+		p = w.NRank
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// scheduler returns the cached shard scheduler for p shards, or nil when
+// p ≥ NRank (every rank its own shard — no tokens needed).
+func (w *World) scheduler(p int) *sched {
+	if p >= w.NRank {
+		return nil
+	}
+	if w.sched == nil || w.sched.threads != p {
+		w.sched = newSched(w.NRank, p)
+	}
+	return w.sched
+}
+
+// Shard returns the worker shard this rank executes on. Unsharded runs
+// (Threads ≥ NRank, or a single rank) report the rank ID itself: each rank
+// is its own worker.
+func (r *Rank) Shard() int { return r.shard }
+
+// recvYield receives from ch, releasing the rank's shard token while parked
+// so a sibling rank of the same shard can run; the token is reacquired
+// before returning. The select fast path keeps the token when a message is
+// already waiting — the common case once a pipeline is warm. Every blocking
+// receive a rank program performs goes through here; sends stay bare because
+// the channel protocols guarantee they never block (see halo.go, reduce.go).
+//
+//pop:hotpath
+func recvYield[T any](r *Rank, ch chan T) T {
+	if r.token == nil {
+		return <-ch
+	}
+	select {
+	case m := <-ch:
+		return m
+	default:
+	}
+	r.token <- struct{}{}
+	m := <-ch
+	<-r.token
+	return m
+}

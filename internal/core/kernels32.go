@@ -1,0 +1,167 @@
+package core
+
+import "repro/internal/stencil"
+
+// Float32 block-level vector kernels: the single-precision twins of the
+// kernels in solvers.go, used by the mixed-precision inner solvers
+// (mixed.go). Scalar recurrence coefficients arrive as float64 — they come
+// from full-precision global reductions — and are rounded once per call,
+// not once per point. Flop charges are identical to the float64 kernels:
+// the virtual cost model prices a flop, not a format, so mixed-precision
+// speedups are a wall-clock story (bench.sh), never a virtual-clock one.
+//
+// Inner loops use the same per-row slice-window idiom as solvers.go so the
+// compiler's prove pass eliminates the bounds checks.
+
+// residual32 computes r = b − A·x on the interior in float32. x must have
+// valid ring-1 halos.
+//
+//pop:hotpath
+func residual32(loc *stencil.Local32, r, b, x []float32) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		lo := j*nx + h
+		n := nx - 2*h
+		rr := r[lo:][:n]
+		br := b[lo:][:n]
+		xc := x[lo:][:n]
+		xn := x[lo+nx:][:n]
+		xs := x[lo-nx:][:n]
+		xe := x[lo+1:][:n]
+		xw := x[lo-1:][:n]
+		xne := x[lo+nx+1:][:n]
+		xse := x[lo-nx+1:][:n]
+		xnw := x[lo+nx-1:][:n]
+		xsw := x[lo-nx-1:][:n]
+		ac := loc.AC[lo:][:n]
+		an := loc.AN[lo:][:n]
+		ans := loc.AN[lo-nx:][:n]
+		ae := loc.AE[lo:][:n]
+		aw := loc.AE[lo-1:][:n]
+		ane := loc.ANE[lo:][:n]
+		anes := loc.ANE[lo-nx:][:n]
+		anew := loc.ANE[lo-1:][:n]
+		anesw := loc.ANE[lo-nx-1:][:n]
+		for i := range rr {
+			rr[i] = br[i] - (ac[i]*xc[i] +
+				an[i]*xn[i] + ans[i]*xs[i] +
+				ae[i]*xe[i] + aw[i]*xw[i] +
+				ane[i]*xne[i] + anes[i]*xse[i] +
+				anew[i]*xnw[i] + anesw[i]*xsw[i])
+		}
+	}
+}
+
+// xpay32 computes dst = x + a·dst on the interior.
+//
+//pop:hotpath
+func xpay32(loc *stencil.Local32, dst, x []float32, a float64) {
+	af := float32(a)
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dst[lo:][:n]
+		xr := x[lo:][:n]
+		for i := range dr {
+			dr[i] = xr[i] + af*dr[i]
+		}
+	}
+}
+
+// axpy32 computes dst += a·x on the interior.
+//
+//pop:hotpath
+func axpy32(loc *stencil.Local32, dst, x []float32, a float64) {
+	af := float32(a)
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dst[lo:][:n]
+		xr := x[lo:][:n]
+		for i := range dr {
+			dr[i] += af * xr[i]
+		}
+	}
+}
+
+// chebUpdate32 computes dx = ω·rp + c·dx on the interior (P-CSI line 7).
+//
+//pop:hotpath
+func chebUpdate32(loc *stencil.Local32, dx, rp []float32, omega, c float64) {
+	of, cf := float32(omega), float32(c)
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dx[lo:][:n]
+		rr := rp[lo:][:n]
+		for i := range dr {
+			dr[i] = of*rr[i] + cf*dr[i]
+		}
+	}
+}
+
+// scaleTo32 narrows dst = float32(src·a) on the interior: the
+// iterative-refinement demotion of the float64 outer residual into the
+// float32 inner right-hand side, scaled by 1/‖r‖ so the inner system has a
+// unit-norm RHS and the float32 dynamic range is never the limiting factor.
+//
+//pop:hotpath
+func scaleTo32(loc *stencil.Local32, dst []float32, src []float64, a float64) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dst[lo:][:n]
+		sr := src[lo:][:n]
+		for i := range dr {
+			dr[i] = float32(sr[i] * a)
+		}
+	}
+}
+
+// axpyFrom32 widens dst += a·float32(x) on the interior: the
+// iterative-refinement promotion folding the scaled float32 correction back
+// into the float64 solution.
+//
+//pop:hotpath
+func axpyFrom32(loc *stencil.Local32, dst []float64, x []float32, a float64) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dst[lo:][:n]
+		xr := x[lo:][:n]
+		for i := range dr {
+			dr[i] += a * float64(xr[i])
+		}
+	}
+}
+
+// copyInterior32 copies src's interior rows into dst (halos untouched).
+//
+//pop:hotpath
+func copyInterior32(loc *stencil.Local32, dst, src []float32) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		copy(dst[j*nx+h:(j+1)*nx-h], src[j*nx+h:(j+1)*nx-h])
+	}
+}
+
+// zeroAll32 clears every entry of f, halos included.
+//
+//pop:hotpath
+func zeroAll32(f []float32) {
+	for k := range f {
+		f[k] = 0
+	}
+}

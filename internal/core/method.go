@@ -123,6 +123,17 @@ func (s *Session) SolveContext(ctx context.Context, m Method, b, x0 []float64) (
 		x   []float64
 		err error
 	)
+	if s.Opts.Precision == Float32 {
+		// Mixed precision routes every method through the iterative-
+		// refinement driver (mixed.go), which runs the method's float32
+		// inner solver inside the float64 outer loop.
+		if !m.Valid() {
+			return Result{}, nil, fmt.Errorf("core: unknown method %v: %w", m, ErrBadSpec)
+		}
+		res, x, err = s.solveMixedContext(ctx, m, b, x0)
+		res.TraceID = s.W.TraceID()
+		return res, x, err
+	}
 	switch m {
 	case MethodChronGear:
 		res, x, err = s.SolveChronGearContext(ctx, b, x0)

@@ -1,0 +1,616 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+)
+
+// Mixed-precision solves: iterative refinement with float32 inner solves.
+//
+// The barotropic solvers are memory-bandwidth-bound — nine-point stencil
+// sweeps, diagonal/block preconditioner applications, and a handful of
+// vector recurrences, all streaming large arrays. Running the iteration in
+// float32 halves that traffic (and halves the halo bytes on the wire), but
+// float32 alone cannot reach POP's 1e−13 relative tolerance: ε₃₂ ≈ 1.2e−7.
+// The classical fix is iterative refinement (Wilkinson; revived for mixed
+// precision by Carson & Higham): an outer loop in float64 computes the true
+// residual r = b − A·x and the inner solver only ever solves the
+// *correction* system A·d = r in float32, after which x += d in float64.
+// Each outer pass multiplies the error by the inner solve's residual
+// reduction (mixedInnerTol), so three passes of 1e−5 reach 1e−13 with every
+// hot kernel running in single precision.
+//
+// Scaling: the inner right-hand side is r/‖r‖, so the inner system always
+// has a unit-norm RHS regardless of how small the outer residual has become
+// — the float32 exponent range is never the limiting factor, only its
+// mantissa, which is exactly what refinement compensates. The correction is
+// folded back as x += ‖r‖·d in float64.
+//
+// Determinism: every global reduction still carries float64 payloads
+// accumulated in float64 (stencil.Local32's dot products widen per point),
+// over the same fixed binomial tree — so float32 solves are bitwise
+// reproducible run-to-run and across thread counts, exactly like float64
+// solves. They are NOT bitwise equal to float64 solves; the fp32 golden
+// traces and the RMSZ convergence-equivalence gate (verify.sh) pin their
+// behavior instead.
+//
+// The resilience machinery (checkpoints, reduce retries, crash rollback) is
+// float64-only: a mixed solve under an active fault injector still sees
+// injected halo faults but performs no in-solve recovery — the
+// SolveResilient ladder retries at whole-solve granularity instead.
+
+// Precision selects the arithmetic of the solver iteration kernels. The
+// zero value is Float64 — the bitwise-reproducible production path — so
+// zero-initialized Options match the legacy behavior.
+type Precision int
+
+const (
+	// Float64 runs every kernel in double precision (the default).
+	Float64 Precision = iota
+	// Float32 runs the iteration kernels (stencil sweeps, preconditioner
+	// applications, vector recurrences, halo exchanges) in single precision
+	// inside a float64 iterative-refinement outer loop; reductions stay
+	// float64. Solutions meet the same Tol as Float64 solves but are not
+	// bitwise equal to them.
+	Float32
+)
+
+// String returns the name used in CLI flags and experiment tables.
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is one of the defined precisions.
+func (p Precision) Valid() bool { return p == Float64 || p == Float32 }
+
+// ParsePrecision maps a precision name ("float64"/"fp64"/"double",
+// "float32"/"fp32"/"single"; "" selects the float64 default) onto its enum
+// value. Unknown names return an error matching errors.Is(err, ErrBadSpec).
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "float64", "fp64", "double":
+		return Float64, nil
+	case "float32", "fp32", "single":
+		return Float32, nil
+	default:
+		return 0, fmt.Errorf("core: unknown precision %q: %w", s, ErrBadSpec)
+	}
+}
+
+const (
+	// mixedInnerTol is the inner solve's relative residual target on the
+	// scaled correction system (whose RHS has unit norm by construction).
+	// 1e−5 sits comfortably above the fp32 attainable-accuracy floor
+	// (≈ κ·ε₃₂) while giving five orders of magnitude per outer pass, so
+	// POP's 1e−13 needs three passes.
+	mixedInnerTol = 1e-5
+	// mixedMaxOuter bounds the refinement passes; hit only when the inner
+	// solver stalls, and far beyond the ~3 passes a healthy solve needs.
+	mixedMaxOuter = 40
+	// mixedStallFactor: an outer pass that fails to shrink the float64
+	// residual below this fraction of the previous one means fp32
+	// corrections have stopped helping (inner breakdown or κ·ε₃₂ floor) —
+	// the solve surrenders rather than looping to mixedMaxOuter.
+	mixedStallFactor = 0.99
+	// mixedInnerStall ends an inner pass after this many consecutive
+	// convergence checks without a new best residual: the float32 iteration
+	// has hit its attainable-accuracy floor (or, for pipelined CG, its
+	// recurrence drift floor) above mixedInnerTol, and further sweeps are
+	// wasted — the outer loop folds the partial correction in and restarts
+	// from a fresh float64 residual. Driven by the reduced check norm, so
+	// every rank exits the pass in lockstep.
+	mixedInnerStall = 2
+)
+
+// solveMixedContext is the Precision == Float32 dispatch target: the
+// float64 iterative-refinement outer loop around the float32 inner solver
+// for method m. MethodCSI is treated as MethodPCSI (the dispatcher-level
+// aliasing). Result.Iterations counts cumulative inner iterations — the
+// number of stencil sweeps, directly comparable to a float64 solve's count
+// — and Result.OuterIters the refinement passes. Options.MaxIters bounds
+// that cumulative count exactly as it bounds a float64 solve: each pass
+// receives the remaining budget, and an exhausted budget ends the solve at
+// the next outer check. Cancellation is observed at outer-pass boundaries.
+func (s *Session) solveMixedContext(ctx context.Context, m Method, b, x0 []float64) (Result, []float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := s.Setup(); err != nil {
+		return Result{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, nil, ctxSolveErr(ctx, m.String(), 0)
+	}
+	if m == MethodCSI {
+		m = MethodPCSI
+	}
+	if m == MethodPCSI && s.Mu == 0 {
+		// P-CSI's Chebyshev interval comes from the float64 Lanczos run —
+		// the spectrum of M⁻¹A is a property of the operator, not of the
+		// iteration precision.
+		if _, _, _, err := s.EstimateEigenvalues(nil, 0); err != nil {
+			return Result{}, nil, err
+		}
+	}
+	o := s.Opts
+	out := s.solveOut()
+	res := Result{Solver: m.String(), Precond: o.Precond, Precision: Float32}
+	if m == MethodPCSI {
+		res.Nu, res.Mu, res.EigSteps = s.Nu, s.Mu, s.EigSteps
+	}
+	trace := &SolveTrace{Residuals: make([]ResidualPoint, 0, mixedMaxOuter)}
+	cancelled := false // written by rank 0 only, read after Run
+
+	st := s.W.Run(func(r *comm.Rank) {
+		rs := s.state(r)
+		nb := len(r.Blocks)
+		xs := s.scatterMasked(r, "mx.x", x0)
+		bs := s.scatterMasked(r, "mx.b", b)
+		rr := s.field(r, "mx.r")
+		b32 := s.field32(r, "mx.b32") // scaled inner RHS, fixed per pass
+		ri := s.field32(r, "mx.ri")   // inner residual
+		d32 := s.field32(r, "mx.d")   // inner correction
+		// Reduction payload reused by every collective in this program —
+		// hoisted so the steady-state loop allocates nothing.
+		payload := make([]float64, 3)
+
+		var bn2 float64
+		for i := 0; i < nb; i++ {
+			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
+			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
+		}
+		payload[0] = bn2
+		bnorm := math.Sqrt(r.AllReduce(payload[:1])[0])
+		if r.ID == 0 {
+			res.BNorm = bnorm
+		}
+		if bnorm == 0 {
+			for i, blk := range r.Blocks {
+				for k := range xs[i] {
+					xs[i][k] = 0
+				}
+				s.D.GatherInto(out, xs[i], blk)
+			}
+			if r.ID == 0 {
+				res.Converged = true
+			}
+			return
+		}
+		target := o.Tol * bnorm
+
+		converged := false
+		prevRn := math.Inf(1)
+		iters := 0
+		outer := 0
+		for outer < mixedMaxOuter {
+			outer++
+			// Outer pass: true float64 residual and its norm. The check
+			// rides the norm reduction (cancellation protocol), so every
+			// rank leaves at the same pass.
+			r.Exchange(xs)
+			var rnL float64
+			for i := 0; i < nb; i++ {
+				loc := rs.locs[i]
+				residual(loc, rr[i], bs[i], xs[i])
+				rnL += loc.MaskedDotInterior(rr[i], rr[i])
+				r.AddFlops(11 * int64(loc.InteriorLen()))
+			}
+			payload[0] = rnL
+			payload[1] = cancelFlag(ctx)
+			g := r.AllReduce(payload[:2])
+			rn := math.Sqrt(g[0])
+			if r.ID == 0 {
+				res.RelResidual = rn / bnorm
+			}
+			traceResidual(r, trace, iters, rn/bnorm)
+			if rn <= target {
+				converged = true
+				break
+			}
+			if g[1] != 0 { // some rank saw ctx done — all ranks stop here
+				if r.ID == 0 {
+					cancelled = true
+				}
+				break
+			}
+			// Stagnation guard: identical verdict on every rank (driven by
+			// the reduced norm). A NaN rn also lands here via the negated
+			// comparison, catching inner breakdown without a special case.
+			if !(rn < prevRn*mixedStallFactor) {
+				break
+			}
+			prevRn = rn
+
+			// Remaining inner-iteration budget: Options.MaxIters bounds the
+			// cumulative float32 sweep count, exactly like a float64 solve.
+			// Same value on every rank, so the break stays lockstep.
+			budget := o.MaxIters - iters
+			if budget <= 0 {
+				break
+			}
+
+			// Demote: inner RHS b32 = r/‖r‖ (unit norm), initial inner
+			// residual ri = b32 (the correction starts from d = 0).
+			inv := 1 / rn
+			for i := 0; i < nb; i++ {
+				loc32 := rs.locs32[i]
+				scaleTo32(loc32, b32[i], rr[i], inv)
+				copyInterior32(loc32, ri[i], b32[i])
+				zeroAll32(d32[i])
+				r.AddFlops(int64(loc32.InteriorLen()))
+			}
+
+			// Inner solve in float32: A·d = b32 to mixedInnerTol.
+			switch m {
+			case MethodChronGear:
+				iters += s.innerChronGear32(r, rs, d32, ri, payload, budget)
+			case MethodPCG:
+				iters += s.innerPCG32(r, rs, d32, ri, payload, budget)
+			case MethodPipeCG:
+				iters += s.innerPipeCG32(r, rs, d32, ri, payload, budget)
+			default: // MethodPCSI
+				iters += s.innerPCSI32(r, rs, d32, ri, b32, payload, budget)
+			}
+
+			// Promote: x += ‖r‖·d in float64.
+			for i := 0; i < nb; i++ {
+				axpyFrom32(rs.locs32[i], xs[i], d32[i], rn)
+				r.AddFlops(2 * int64(rs.locs32[i].InteriorLen()))
+			}
+		}
+		if r.ID == 0 {
+			res.Iterations = iters
+			res.OuterIters = outer
+			res.Converged = converged
+		}
+		for i, blk := range r.Blocks {
+			s.D.GatherInto(out, xs[i], blk)
+		}
+	})
+	res.Stats = st
+	res.Trace = trace
+	s.restoreLand(out, b)
+	if cancelled {
+		return res, out, ctxSolveErr(ctx, m.String(), res.Iterations)
+	}
+	return res, out, nil
+}
+
+// innerChronGear32 runs the Chronopoulos–Gear recurrence in float32 on the
+// unit-norm correction system: the fused single-reduction iteration of the
+// float64 solver (chrongear.go) minus the resilience machinery. d is the
+// correction (zeroed by the caller), ri the inner residual (initialized to
+// the scaled RHS). Returns the iteration count, capped at budget.
+func (s *Session) innerChronGear32(r *comm.Rank, rs *rankState, d, ri [][]float32, payload []float64, budget int) int {
+	o := s.Opts
+	nb := len(r.Blocks)
+	rp := s.field32(r, "mx.cg.rp")
+	zz := s.field32(r, "mx.cg.z")
+	ss := s.zeroField32(r, "mx.cg.s")
+	pp := s.zeroField32(r, "mx.cg.p")
+
+	rhoPrev, sigmaPrev := 1.0, 0.0
+	bestRn, noImprove := math.Inf(1), 0
+	k := 0
+	for k < budget {
+		k++
+		check := k%o.CheckEvery == 0
+		var rhoL, deltaL, rnL float64
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			n := int64(loc.InteriorLen())
+			rs.pre32[i].Apply32(rp[i], ri[i])
+			r.AddFlops(rs.pre[i].ApplyFlops())
+			if check {
+				rnL += loc.MaskedDotInterior(ri[i], ri[i])
+				r.AddFlops(2 * n)
+			}
+		}
+		r.Exchange32(rp)
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			n := int64(loc.InteriorLen())
+			deltaL += loc.ApplyAndMaskedDot(zz[i], rp[i])
+			r.AddFlops(9 * n)
+			rhoL += loc.MaskedDotInterior(ri[i], rp[i])
+			r.AddFlops(4 * n)
+		}
+		payload[0], payload[1] = rhoL, deltaL
+		p := payload[:2]
+		if check {
+			payload[2] = rnL
+			p = payload[:3]
+		}
+		g := r.AllReduce(p)
+		rho, delta := g[0], g[1]
+		if check {
+			rn := math.Sqrt(g[2])
+			if rn <= mixedInnerTol {
+				break
+			}
+			if rn < bestRn {
+				bestRn, noImprove = rn, 0
+			} else if noImprove++; noImprove >= mixedInnerStall {
+				break
+			}
+		}
+		beta := rho / rhoPrev
+		sigma := delta - beta*beta*sigmaPrev
+		if sigma == 0 { // breakdown (fp32 floor) — outer stall guard reports
+			break
+		}
+		alpha := rho / sigma
+		rhoPrev, sigmaPrev = rho, sigma
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			xpay32(loc, ss[i], rp[i], beta)
+			xpay32(loc, pp[i], zz[i], beta)
+			axpy32(loc, d[i], ss[i], alpha)
+			axpy32(loc, ri[i], pp[i], -alpha)
+			r.AddFlops(4 * int64(loc.InteriorLen()))
+		}
+	}
+	return k
+}
+
+// innerPCG32 runs classic two-reduction PCG in float32 on the correction
+// system (the float64 solver of pcg.go minus cancellation, which the outer
+// loop owns).
+func (s *Session) innerPCG32(r *comm.Rank, rs *rankState, d, ri [][]float32, payload []float64, budget int) int {
+	o := s.Opts
+	nb := len(r.Blocks)
+	rp := s.field32(r, "mx.pcg.rp")
+	zz := s.field32(r, "mx.pcg.z")
+	pp := s.zeroField32(r, "mx.pcg.p")
+
+	rhoPrev := 0.0
+	bestRn, noImprove := math.Inf(1), 0
+	k := 0
+	for k < budget {
+		k++
+		check := k%o.CheckEvery == 0
+		var rhoL float64
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			rs.pre32[i].Apply32(rp[i], ri[i])
+			r.AddFlops(rs.pre[i].ApplyFlops())
+			rhoL += loc.MaskedDotInterior(ri[i], rp[i])
+			r.AddFlops(2 * int64(loc.InteriorLen()))
+		}
+		payload[0] = rhoL
+		rho := r.AllReduce(payload[:1])[0] // reduction 1 of 2
+		if k == 1 {
+			for i := 0; i < nb; i++ {
+				copy(pp[i], rp[i])
+			}
+		} else {
+			beta := rho / rhoPrev
+			for i := 0; i < nb; i++ {
+				xpay32(rs.locs32[i], pp[i], rp[i], beta)
+				r.AddFlops(int64(rs.locs32[i].InteriorLen()))
+			}
+		}
+		rhoPrev = rho
+		r.Exchange32(pp)
+		var deltaL, rnL float64
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			deltaL += loc.ApplyAndMaskedDot(zz[i], pp[i])
+			r.AddFlops(11 * int64(loc.InteriorLen()))
+			if check {
+				rnL += loc.MaskedDotInterior(ri[i], ri[i])
+				r.AddFlops(2 * int64(loc.InteriorLen()))
+			}
+		}
+		payload[0] = deltaL
+		p := payload[:1]
+		if check {
+			payload[1] = rnL
+			p = payload[:2]
+		}
+		g := r.AllReduce(p) // reduction 2 of 2
+		alpha := rho / g[0]
+		if check {
+			rn := math.Sqrt(g[1])
+			if rn <= mixedInnerTol {
+				break
+			}
+			if rn < bestRn {
+				bestRn, noImprove = rn, 0
+			} else if noImprove++; noImprove >= mixedInnerStall {
+				break
+			}
+		}
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			axpy32(loc, d[i], pp[i], alpha)
+			axpy32(loc, ri[i], zz[i], -alpha)
+			r.AddFlops(2 * int64(loc.InteriorLen()))
+		}
+	}
+	return k
+}
+
+// innerPipeCG32 runs the Ghysels–Vanroose pipelined CG in float32 on the
+// correction system, keeping the reduction/compute overlap pricing
+// (AllReduceOverlap) of the float64 solver in pipecg.go.
+func (s *Session) innerPipeCG32(r *comm.Rank, rs *rankState, d, ri [][]float32, payload []float64, budget int) int {
+	o := s.Opts
+	nb := len(r.Blocks)
+	uu := s.field32(r, "mx.pipe.u")
+	ww := s.field32(r, "mx.pipe.w")
+	mm := s.field32(r, "mx.pipe.m")
+	nn := s.field32(r, "mx.pipe.n")
+	zz := s.zeroField32(r, "mx.pipe.z")
+	qq := s.zeroField32(r, "mx.pipe.q")
+	ss := s.zeroField32(r, "mx.pipe.s")
+	pp := s.zeroField32(r, "mx.pipe.p")
+
+	// u₀ = M⁻¹r₀, w₀ = A·u₀.
+	for i := 0; i < nb; i++ {
+		rs.pre32[i].Apply32(uu[i], ri[i])
+		r.AddFlops(rs.pre[i].ApplyFlops())
+	}
+	r.Exchange32(uu)
+	for i := 0; i < nb; i++ {
+		rs.locs32[i].Apply(ww[i], uu[i])
+		r.AddFlops(9 * int64(rs.locs32[i].InteriorLen()))
+	}
+
+	gammaPrev, alphaPrev := 0.0, 0.0
+	bestRn, noImprove := math.Inf(1), 0
+	k := 0
+	for k < budget {
+		k++
+		check := k%o.CheckEvery == 0
+		var gL, dL, rnL float64
+		var overlapFlops int64
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			n := int64(loc.InteriorLen())
+			gL += loc.MaskedDotInterior(ri[i], uu[i])
+			dL += loc.MaskedDotInterior(ww[i], uu[i])
+			r.AddFlops(4 * n)
+			if check {
+				rnL += loc.MaskedDotInterior(ri[i], ri[i])
+				r.AddFlops(2 * n)
+			}
+			overlapFlops += rs.pre[i].ApplyFlops() + 9*n
+		}
+		payload[0], payload[1] = gL, dL
+		p := payload[:2]
+		if check {
+			payload[2] = rnL
+			p = payload[:3]
+		}
+		g := r.AllReduceOverlap(p, overlapFlops)
+		gamma, delta := g[0], g[1]
+		var rn2 float64
+		if check {
+			rn2 = g[2]
+		}
+		for i := 0; i < nb; i++ {
+			rs.pre32[i].Apply32(mm[i], ww[i])
+		}
+		r.Exchange32(mm)
+		for i := 0; i < nb; i++ {
+			rs.locs32[i].Apply(nn[i], mm[i])
+		}
+		if check {
+			rn := math.Sqrt(rn2)
+			if rn <= mixedInnerTol {
+				break
+			}
+			if rn < bestRn {
+				bestRn, noImprove = rn, 0
+			} else if noImprove++; noImprove >= mixedInnerStall {
+				break
+			}
+		}
+		var beta, alpha float64
+		if k == 1 {
+			beta, alpha = 0, gamma/delta
+		} else {
+			beta = gamma / gammaPrev
+			alpha = gamma / (delta - beta*gamma/alphaPrev)
+		}
+		gammaPrev, alphaPrev = gamma, alpha
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			xpay32(loc, zz[i], nn[i], beta)
+			xpay32(loc, qq[i], mm[i], beta)
+			xpay32(loc, ss[i], ww[i], beta)
+			xpay32(loc, pp[i], uu[i], beta)
+			axpy32(loc, d[i], pp[i], alpha)
+			axpy32(loc, ri[i], ss[i], -alpha)
+			axpy32(loc, uu[i], qq[i], -alpha)
+			axpy32(loc, ww[i], zz[i], -alpha)
+			r.AddFlops(8 * int64(loc.InteriorLen()))
+		}
+	}
+	return k
+}
+
+// innerPCSI32 runs P-CSI (Algorithm 2) in float32 on the correction system
+// with the session's float64 Chebyshev interval [ν, μ] — no reductions
+// outside the checks, exactly like the float64 solver in pcsi.go but
+// without its adaptive interval guards (the outer stall guard covers a
+// mis-bracketed spectrum). b32 is the fixed scaled RHS the recomputed
+// residual needs.
+func (s *Session) innerPCSI32(r *comm.Rank, rs *rankState, d, ri, b32 [][]float32, payload []float64, budget int) int {
+	o := s.Opts
+	nb := len(r.Blocks)
+	rp := s.field32(r, "mx.csi.rp")
+	dx := s.zeroField32(r, "mx.csi.dx")
+
+	nu, mu := s.Nu, s.Mu
+	alpha := 2 / (mu - nu)
+	beta := (mu + nu) / (mu - nu)
+	gamma := beta / alpha
+	inv4a2 := 1 / (4 * alpha * alpha)
+
+	// Algorithm 2 initialization: Δd₀ = γ⁻¹M⁻¹r₀, d₁ = d₀ + Δd₀.
+	for i := 0; i < nb; i++ {
+		loc := rs.locs32[i]
+		rs.pre32[i].Apply32(rp[i], ri[i])
+		r.AddFlops(rs.pre[i].ApplyFlops())
+		chebUpdate32(loc, dx[i], rp[i], 1/gamma, 0)
+		axpy32(loc, d[i], dx[i], 1)
+		r.AddFlops(3 * int64(loc.InteriorLen()))
+	}
+	r.Exchange32(d)
+	for i := 0; i < nb; i++ {
+		residual32(rs.locs32[i], ri[i], b32[i], d[i])
+		r.AddFlops(9 * int64(rs.locs32[i].InteriorLen()))
+	}
+
+	omega := 2 / gamma
+	bestRn, noImprove := math.Inf(1), 0
+	k := 0
+	for k < budget {
+		k++
+		omega = 1 / (gamma - inv4a2*omega)
+		for i := 0; i < nb; i++ {
+			loc := rs.locs32[i]
+			rs.pre32[i].Apply32(rp[i], ri[i])
+			r.AddFlops(rs.pre[i].ApplyFlops())
+			chebUpdate32(loc, dx[i], rp[i], omega, gamma*omega-1)
+			axpy32(loc, d[i], dx[i], 1)
+			r.AddFlops(3 * int64(loc.InteriorLen()))
+		}
+		r.Exchange32(d) // the iteration's only communication
+		for i := 0; i < nb; i++ {
+			residual32(rs.locs32[i], ri[i], b32[i], d[i])
+			r.AddFlops(9 * int64(rs.locs32[i].InteriorLen()))
+		}
+		if k%o.CheckEvery == 0 {
+			var rnL float64
+			for i := 0; i < nb; i++ {
+				rnL += rs.locs32[i].MaskedDotInterior(ri[i], ri[i])
+				r.AddFlops(2 * int64(rs.locs32[i].InteriorLen()))
+			}
+			payload[0] = rnL
+			g := r.AllReduce(payload[:1])
+			rn := math.Sqrt(g[0])
+			if rn <= mixedInnerTol {
+				break
+			}
+			if rn < bestRn {
+				bestRn, noImprove = rn, 0
+			} else if noImprove++; noImprove >= mixedInnerStall {
+				break
+			}
+		}
+	}
+	return k
+}

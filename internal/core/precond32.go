@@ -1,0 +1,124 @@
+package core
+
+// Float32 preconditioner applications for the mixed-precision inner
+// solvers. Each builtin implements the optional Preconditioner32 interface;
+// Setup type-asserts it when Options.Precision is Float32.
+//
+// Two of the four sweeps are genuinely single-precision (identity, diagonal
+// — both pure streaming, so float32 halves their memory traffic). The two
+// block solvers keep float64 cores behind float32 I/O: EVP marching
+// amplifies round-off by up to maxMarchGrowth ≈ 1e4 (see evp's package
+// doc), and 1e4·ε₃₂ ≈ 1e-3 would leave the preconditioner too inexact for
+// the inner tolerance — the marching recurrence itself must stay double.
+// Dense LU is kept double for the same backward-stability reason (and its
+// triangular solves are flop-bound, not bandwidth-bound, so float32 would
+// buy little). The float32 payoff for the block preconditioners is in the
+// vectors, halos, and stencil sweeps around them, not inside the block
+// solves.
+
+// Preconditioner32 is the optional single-precision application a
+// Preconditioner may offer: dst = M⁻¹·src on the interior with float32
+// fields. All builtin preconditioners implement it; the flop charge is
+// ApplyFlops (the cost model prices flops, not formats).
+type Preconditioner32 interface {
+	Apply32(dst, src []float32)
+}
+
+// Apply32 copies the interior (identity in float32).
+//
+//pop:hotpath
+func (p *identityPrecond) Apply32(dst, src []float32) {
+	nx := p.loc.NxP
+	h := p.loc.H
+	for j := h; j < p.loc.NyP-h; j++ {
+		copy(dst[j*nx+h:(j+1)*nx-h], src[j*nx+h:(j+1)*nx-h])
+	}
+}
+
+// Apply32 divides by the operator diagonal in float32, using the
+// pre-narrowed reciprocal table so the sweep reads 4-byte operands only.
+//
+//pop:hotpath
+func (p *diagPrecond) Apply32(dst, src []float32) {
+	nx := p.loc.NxP
+	h := p.loc.H
+	for j := h; j < p.loc.NyP-h; j++ {
+		base := j * nx
+		for i := h; i < nx-h; i++ {
+			dst[base+i] = src[base+i] * p.inv32[base+i]
+		}
+	}
+}
+
+// Apply32 runs the block-EVP sweep with float32 field I/O around the
+// float64 marching core: masked gather widens src into the extended-domain
+// scratch, the exact same BlockSolver.Solve runs in double, and the masked
+// scatter narrows the result. See the package comment above for why the
+// marching stays double.
+//
+//pop:hotpath
+func (p *evpPrecond) Apply32(dst, src []float32) {
+	loc := p.loc
+	nxp, h := loc.NxP, loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		copy(dst[j*nxp+h:(j+1)*nxp-h], src[j*nxp+h:(j+1)*nxp-h])
+	}
+	for si, sb := range p.subs {
+		sol := p.solvers[si]
+		if sol == nil {
+			continue
+		}
+		exw := sb.nx + 2
+		psi := p.psi[:exw*(sb.ny+2)]
+		x := p.x[:exw*(sb.ny+2)]
+		for i := range psi {
+			psi[i] = 0
+		}
+		for j := 0; j < sb.ny; j++ {
+			lbase := (sb.y0 + h + j) * nxp
+			ebase := (j + 1) * exw
+			for i := 0; i < sb.nx; i++ {
+				lk := lbase + sb.x0 + h + i
+				if loc.Mask[lk] {
+					psi[ebase+1+i] = float64(src[lk])
+				}
+			}
+		}
+		sol.Solve(x, psi)
+		for j := 0; j < sb.ny; j++ {
+			lbase := (sb.y0 + h + j) * nxp
+			ebase := (j + 1) * exw
+			for i := 0; i < sb.nx; i++ {
+				lk := lbase + sb.x0 + h + i
+				if loc.Mask[lk] {
+					dst[lk] = float32(x[ebase+1+i])
+				}
+			}
+		}
+	}
+}
+
+// Apply32 runs the dense block-LU sweep with float32 I/O around the float64
+// triangular solves, widening through the existing buf scratch.
+//
+//pop:hotpath
+func (p *bluPrecond) Apply32(dst, src []float32) {
+	loc := p.loc
+	nxp, h := loc.NxP, loc.H
+	for si, sb := range p.subs {
+		buf := p.buf[:sb.nx*sb.ny]
+		for j := 0; j < sb.ny; j++ {
+			lbase := (sb.y0+h+j)*nxp + sb.x0 + h
+			for i := 0; i < sb.nx; i++ {
+				buf[j*sb.nx+i] = float64(src[lbase+i])
+			}
+		}
+		p.lus[si].Solve(buf)
+		for j := 0; j < sb.ny; j++ {
+			lbase := (sb.y0+h+j)*nxp + sb.x0 + h
+			for i := 0; i < sb.nx; i++ {
+				dst[lbase+i] = float32(buf[j*sb.nx+i])
+			}
+		}
+	}
+}

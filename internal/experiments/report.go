@@ -3,16 +3,49 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"runtime"
 )
+
+// Hardware records the real-machine execution context of a report.
+// Virtual-time numbers are machine-model functions and ignore it, but
+// wall-clock figures are only comparable between runs whose Hardware
+// matches — so every BENCH_*.json header carries one.
+type Hardware struct {
+	// GoVersion is runtime.Version() of the writing binary.
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the Go scheduler's thread cap at report time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is the machine's logical CPU count.
+	NumCPU int `json:"num_cpu"`
+	// WorkerShards is the effective worker-shard count sessions ran with:
+	// at most this many virtual ranks execute concurrently on real cores.
+	WorkerShards int `json:"worker_shards"`
+}
+
+// DetectHardware snapshots the execution context. threads is the
+// configured worker-shard knob; 0 resolves to GOMAXPROCS, mirroring
+// comm.World.SetThreads.
+func DetectHardware(threads int) Hardware {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return Hardware{
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		WorkerShards: threads,
+	}
+}
 
 // BenchReport is the machine-readable record of one experiment run —
 // what popbench writes as BENCH_<experiment>.json so a sweep's numbers
 // can be diffed or plotted without re-parsing the printed tables.
 type BenchReport struct {
-	Experiment  string  `json:"experiment"`
-	Machine     string  `json:"machine"`
-	Quick       bool    `json:"quick"`
-	WallSeconds float64 `json:"wall_seconds"`
+	Experiment  string   `json:"experiment"`
+	Machine     string   `json:"machine"`
+	Quick       bool     `json:"quick"`
+	WallSeconds float64  `json:"wall_seconds"`
+	Hardware    Hardware `json:"hardware"`
 
 	// Measurements taken while this experiment ran. Empty when the
 	// experiment reused a sweep cached by an earlier figure.
@@ -46,6 +79,7 @@ func NewBenchReport(c *Config, experiment string, wallSeconds float64, ms []Meas
 		Machine:      c.Machine.Name,
 		Quick:        c.Quick,
 		WallSeconds:  wallSeconds,
+		Hardware:     DetectHardware(0),
 		Measurements: make([]ReportMeasurement, 0, len(ms)),
 	}
 	for _, m := range ms {

@@ -90,6 +90,10 @@ type Config struct {
 	BlockNx    int // decomposition block size; default: single block
 	BlockNy    int
 	Cost       comm.CostModel // nil = free (numerics only)
+	// Threads caps concurrent rank execution on real cores
+	// (comm.World.SetThreads): 0 = GOMAXPROCS. Trajectories are bitwise
+	// identical across settings.
+	Threads int
 
 	// TempPerturb adds a random perturbation of this amplitude (K) to the
 	// surface layer at initialization — the paper uses O(1e−14).
@@ -183,6 +187,7 @@ func New(cfg Config) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.SetThreads(cfg.Threads)
 	sess, err := core.NewSession(g, op, d, w, cfg.SolverOpts)
 	if err != nil {
 		return nil, err

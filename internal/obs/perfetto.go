@@ -267,7 +267,12 @@ func eventArgs(e *Event) map[string]any {
 	if e.Value != 0 {
 		args["value"] = e.Value
 	}
-	if e.Aux != 0 {
+	if e.Name == EvRunBegin {
+		// Worker-shard attribution: emitted unconditionally (shard 0
+		// included) so consumers can group a segment's spans by the shard
+		// that executed them.
+		args["shard"] = e.Aux
+	} else if e.Aux != 0 {
 		args["aux"] = e.Aux
 	}
 	if e.Straggler >= 0 {
@@ -454,6 +459,10 @@ func AttributeRecord(rec RequestRecord) Attribution {
 type LeagueRow struct {
 	// Rank is the virtual rank (the track TID).
 	Rank int
+	// Shard is the worker shard the rank last executed on, taken from the
+	// trace's run_begin markers; −1 when the trace carries none (rank
+	// tracing predates shard stamping, or the run was unattributed).
+	Shard int
 	// Reduces is how many reduce spans the rank's track retained.
 	Reduces int
 	// Straggled is how many of those reductions this rank arrived last at.
@@ -463,11 +472,28 @@ type LeagueRow struct {
 	WaitTotal, WaitMean float64
 }
 
+// ShardMap extracts the worker-shard attribution from a parsed trace's
+// run_begin markers: track TID → the shard stamped on the track's last
+// run_begin event. Tracks without a marker are absent from the map.
+func ShardMap(events []PerfEvent) map[int]int {
+	m := make(map[int]int)
+	for _, e := range events {
+		if e.Name != EvRunBegin {
+			continue
+		}
+		if s, ok := e.Args["shard"]; ok {
+			m[e.TID] = int(s)
+		}
+	}
+	return m
+}
+
 // StragglerLeague aggregates reduce spans from a parsed trace into per-rank
 // standings, sorted by straggle count descending (ties by rank). Ranks are
 // identified by track TID, so multi-session exports aggregate same-numbered
 // ranks across sessions.
 func StragglerLeague(events []PerfEvent) []LeagueRow {
+	shards := ShardMap(events)
 	byRank := make(map[int]*LeagueRow)
 	for _, e := range events {
 		if e.Name != EvReduce || e.Ph != "X" {
@@ -475,7 +501,10 @@ func StragglerLeague(events []PerfEvent) []LeagueRow {
 		}
 		row := byRank[e.TID]
 		if row == nil {
-			row = &LeagueRow{Rank: e.TID}
+			row = &LeagueRow{Rank: e.TID, Shard: -1}
+			if s, ok := shards[e.TID]; ok {
+				row.Shard = s
+			}
 			byRank[e.TID] = row
 		}
 		row.Reduces++

@@ -17,8 +17,10 @@ func buildTracks() []obs.Track {
 	mk := func(rank int) obs.Track {
 		var evs []obs.Event
 		for run := 0; run < 2; run++ {
+			// Aux carries the worker shard; rank 0 on shard 0 exercises the
+			// unconditional shard arg (zero must still be exported).
 			evs = append(evs, obs.Event{Rank: rank, Name: obs.EvRunBegin, Point: true,
-				Value: 2, Iter: -1, Straggler: -1, Trace: uint64(run + 1)})
+				Value: 2, Aux: float64(rank), Iter: -1, Straggler: -1, Trace: uint64(run + 1)})
 			t := 0.0 // virtual clock restarts every run
 			for i := 0; i < 3; i++ {
 				evs = append(evs,
@@ -200,6 +202,14 @@ func TestStragglerLeague(t *testing.T) {
 		if math.Abs(r.WaitMean-3e-5) > 1e-12 {
 			t.Errorf("rank %d wait mean: got %g, want 3e-5", r.Rank, r.WaitMean)
 		}
+		// buildTracks stamps Aux=rank on run_begin: shard attribution must
+		// survive the round-trip, including shard 0.
+		if r.Shard != r.Rank {
+			t.Errorf("rank %d shard: got %d, want %d", r.Rank, r.Shard, r.Rank)
+		}
+	}
+	if sm := obs.ShardMap(pt.Events); len(sm) != 2 || sm[0] != 0 || sm[1] != 1 {
+		t.Errorf("ShardMap: got %v, want {0:0 1:1}", sm)
 	}
 }
 

@@ -45,7 +45,9 @@ const (
 	// EvRunBegin marks the start of one World.Run on a rank. Every run
 	// restarts the virtual clock at zero, so timestamps are monotone
 	// non-decreasing per rank *within* a run segment; consumers must treat
-	// this marker as a segment boundary. Value is the run's rank count.
+	// this marker as a segment boundary. Value is the run's rank count and
+	// Aux the worker shard the rank executed on (comm.Rank.Shard) — the
+	// hardware-parallelism attribution key for everything in the segment.
 	EvRunBegin = "run_begin"
 )
 
@@ -281,7 +283,9 @@ func payload(l *jsonLine, e *Event) {
 	}
 	v := e.Value
 	l.Value = &v
-	if e.Aux != 0 {
+	// run_begin's Aux is the worker shard: always emitted, shard 0 included,
+	// so consumers can tell "shard 0" from "unattributed".
+	if e.Aux != 0 || e.Name == EvRunBegin {
 		a := e.Aux
 		l.Aux = &a
 	}

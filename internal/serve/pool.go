@@ -207,6 +207,9 @@ func (p *keyPool) build() (*core.Session, *sessionSlot, error) {
 	// Wire the fault injector (if any) into the session's world; a nil
 	// injector leaves every communication path bitwise identical.
 	w.Faults = o.Injector
+	// Cap concurrent rank execution at the configured worker-shard count
+	// (0 = GOMAXPROCS); sharding is pure scheduling, never numerics.
+	w.SetThreads(o.Threads)
 	// Attach the per-session tracer before warm-up so setup and Lanczos
 	// spans are captured too (with trace ID 0 — not tied to any request).
 	// Sessions deliberately do not share a tracer: each ring is

@@ -3,7 +3,6 @@ package serve_test
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -123,11 +122,6 @@ func TestPooledSolvesBitwiseIdenticalToSerial(t *testing.T) {
 // some requests must shed with ErrOverloaded, every request must get an
 // answer, and the test completing at all is the no-deadlock assertion.
 func TestOverloadShedsNeverBlocks(t *testing.T) {
-	// On GOMAXPROCS=1 the scheduler hands the CPU straight to the worker
-	// after every enqueue, serializing the burst so the queue never fills.
-	// Two scheduler threads let callers enqueue while the worker solves.
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
-
 	rhs := testRHS(t, 1)
 	// Unpreconditioned solves of an ill-conditioned operator (huge Tau)
 	// take tens of milliseconds each — the worker cannot outrun the burst.
@@ -140,7 +134,12 @@ func TestOverloadShedsNeverBlocks(t *testing.T) {
 		MaxBatch:          1, // one solve per checkout: at most 3 requests in flight
 		MaxWait:           -1,
 		Tau:               200000,
-		Solver:            core.Options{Tol: 1e-12, MaxIters: 200000},
+		// One worker shard: the token handoffs around every halo receive are
+		// scheduling points, so caller goroutines get CPU time mid-solve and
+		// the burst fills the queue even on GOMAXPROCS=1. This replaces the
+		// old ad-hoc runtime.GOMAXPROCS(2) workaround.
+		Threads: 1,
+		Solver:  core.Options{Tol: 1e-12, MaxIters: 200000},
 	})
 	defer closeQuietly(t, s)
 

@@ -1,0 +1,157 @@
+package stencil
+
+// Local32 is the single-precision image of a Local: the nine-point
+// coefficients stored as float32, sharing the parent's ocean mask. It backs
+// the mixed-precision solver path (core.Options.Precision = Float32), where
+// the iteration kernels run in float32 — halving the memory traffic the
+// stencil sweep is bound by — while every inner product accumulates in
+// float64 so the global reductions keep their fixed-tree determinism.
+//
+// The conversion loses at most one float32 ulp per coefficient; the
+// iterative-refinement outer loop (core/mixed.go) absorbs that error in
+// full double precision, so the final solution meets the fp64 tolerance.
+type Local32 struct {
+	NxP, NyP        int // padded dimensions (same layout as Local)
+	H               int // halo width
+	AC, AN, AE, ANE []float32
+	Mask            []bool // shared with the parent Local, not copied
+}
+
+// NewLocal32 builds the float32 image of l. The coefficient arrays are
+// fresh copies rounded to float32; Mask aliases the parent's.
+func NewLocal32(l *Local) *Local32 {
+	c := &Local32{NxP: l.NxP, NyP: l.NyP, H: l.H, Mask: l.Mask}
+	conv := func(src []float64) []float32 {
+		dst := make([]float32, len(src))
+		for k, v := range src {
+			dst[k] = float32(v)
+		}
+		return dst
+	}
+	c.AC = conv(l.AC)
+	c.AN = conv(l.AN)
+	c.AE = conv(l.AE)
+	c.ANE = conv(l.ANE)
+	return c
+}
+
+// InteriorLen returns the number of owned points.
+func (l *Local32) InteriorLen() int { return (l.NxP - 2*l.H) * (l.NyP - 2*l.H) }
+
+// Apply computes y = A·x over the interior points in float32, the same
+// nine-point sweep as Local.Apply (see there for the slice-window BCE
+// idiom). Halo entries of y are left untouched.
+//
+//pop:hotpath
+func (l *Local32) Apply(y, x []float32) {
+	nx := l.NxP
+	if len(x) != nx*l.NyP || len(y) != nx*l.NyP {
+		panic("stencil: Local32.Apply dimension mismatch")
+	}
+	for j := l.H; j < l.NyP-l.H; j++ {
+		lo := j*nx + l.H
+		n := nx - 2*l.H
+		yr := y[lo:][:n]
+		xc := x[lo:][:n]
+		xn := x[lo+nx:][:n]
+		xs := x[lo-nx:][:n]
+		xe := x[lo+1:][:n]
+		xw := x[lo-1:][:n]
+		xne := x[lo+nx+1:][:n]
+		xse := x[lo-nx+1:][:n]
+		xnw := x[lo+nx-1:][:n]
+		xsw := x[lo-nx-1:][:n]
+		ac := l.AC[lo:][:n]
+		an := l.AN[lo:][:n]
+		ans := l.AN[lo-nx:][:n]
+		ae := l.AE[lo:][:n]
+		aw := l.AE[lo-1:][:n]
+		ane := l.ANE[lo:][:n]
+		anes := l.ANE[lo-nx:][:n]
+		anew := l.ANE[lo-1:][:n]
+		anesw := l.ANE[lo-nx-1:][:n]
+		for i := range yr {
+			yr[i] = ac[i]*xc[i] +
+				an[i]*xn[i] + ans[i]*xs[i] +
+				ae[i]*xe[i] + aw[i]*xw[i] +
+				ane[i]*xne[i] + anes[i]*xse[i] +
+				anew[i]*xnw[i] + anesw[i]*xsw[i]
+		}
+	}
+}
+
+// ApplyAndMaskedDot computes y = A·x over the interior in float32 and
+// returns Σ y[k]·x[k] over owned ocean points accumulated in float64 — the
+// fused matvec+dot of the CG-family inner loops. The float64 accumulation
+// is the mixed-precision contract: products are formed in float32 (one
+// rounding each) but the sum that feeds the global reduction carries full
+// double-precision associativity, so the fixed-tree reduction stays bitwise
+// deterministic across runs and thread counts.
+//
+//pop:hotpath
+func (l *Local32) ApplyAndMaskedDot(y, x []float32) float64 {
+	nx := l.NxP
+	if len(x) != nx*l.NyP || len(y) != nx*l.NyP {
+		panic("stencil: Local32.Apply dimension mismatch")
+	}
+	var s float64
+	for j := l.H; j < l.NyP-l.H; j++ {
+		lo := j*nx + l.H
+		n := nx - 2*l.H
+		yr := y[lo:][:n]
+		xc := x[lo:][:n]
+		xn := x[lo+nx:][:n]
+		xs := x[lo-nx:][:n]
+		xe := x[lo+1:][:n]
+		xw := x[lo-1:][:n]
+		xne := x[lo+nx+1:][:n]
+		xse := x[lo-nx+1:][:n]
+		xnw := x[lo+nx-1:][:n]
+		xsw := x[lo-nx-1:][:n]
+		ac := l.AC[lo:][:n]
+		an := l.AN[lo:][:n]
+		ans := l.AN[lo-nx:][:n]
+		ae := l.AE[lo:][:n]
+		aw := l.AE[lo-1:][:n]
+		ane := l.ANE[lo:][:n]
+		anes := l.ANE[lo-nx:][:n]
+		anew := l.ANE[lo-1:][:n]
+		anesw := l.ANE[lo-nx-1:][:n]
+		mask := l.Mask[lo:][:n]
+		for i := range yr {
+			v := ac[i]*xc[i] +
+				an[i]*xn[i] + ans[i]*xs[i] +
+				ae[i]*xe[i] + aw[i]*xw[i] +
+				ane[i]*xne[i] + anes[i]*xse[i] +
+				anew[i]*xnw[i] + anesw[i]*xsw[i]
+			yr[i] = v
+			if mask[i] {
+				s += float64(xc[i]) * float64(v)
+			}
+		}
+	}
+	return s
+}
+
+// MaskedDotInterior returns Σ x[k]·y[k] over owned ocean points, products
+// in float32 widened to a float64 accumulator (see ApplyAndMaskedDot for
+// why the accumulator is double).
+//
+//pop:hotpath
+func (l *Local32) MaskedDotInterior(x, y []float32) float64 {
+	var s float64
+	nx := l.NxP
+	for j := l.H; j < l.NyP-l.H; j++ {
+		lo := j*nx + l.H
+		n := nx - 2*l.H
+		xr := x[lo:][:n]
+		yr := y[lo:][:n]
+		mask := l.Mask[lo:][:n]
+		for i := range xr {
+			if mask[i] {
+				s += float64(xr[i]) * float64(yr[i])
+			}
+		}
+	}
+	return s
+}

@@ -63,6 +63,8 @@ type (
 	Method = core.Method
 	// Precond selects the preconditioner (see the Precond* constants).
 	Precond = core.PrecondType
+	// Precision selects the iteration arithmetic (see Float64/Float32).
+	Precision = core.Precision
 	// NotConvergedError carries the iteration count and final residual of
 	// a solve that stopped short of its tolerance; match with
 	// errors.As(err, &nc) or errors.Is(err, ErrNotConverged).
@@ -149,6 +151,18 @@ const (
 	PrecondBlockLU = core.PrecondBlockLU
 )
 
+// Solver precisions. The zero value is Float64, the bitwise-reproducible
+// production arithmetic.
+const (
+	// Float64 runs every solver kernel in double precision.
+	Float64 = core.Float64
+	// Float32 runs the iteration kernels in single precision inside a
+	// float64 iterative-refinement outer loop: same tolerance, roughly half
+	// the memory and halo traffic, deterministic but not bitwise equal to
+	// Float64 solves.
+	Float32 = core.Float32
+)
+
 // Typed errors of the public solve path, matchable with errors.Is /
 // errors.As.
 var (
@@ -198,6 +212,11 @@ func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
 // ParsePrecond maps a preconditioner name ("diagonal", "evp", "blocklu",
 // "none"; "" = diagonal) to its Precond; unknown names match ErrBadSpec.
 func ParsePrecond(s string) (Precond, error) { return core.ParsePrecond(s) }
+
+// ParsePrecision maps a precision name ("float64"/"fp64"/"double",
+// "float32"/"fp32"/"single"; "" = float64) to its Precision; unknown names
+// match ErrBadSpec.
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
 
 // NewService starts a concurrent solve service: Solve from any number of
 // goroutines; Close drains it. See cmd/popserver for the HTTP front end.
@@ -273,6 +292,12 @@ type SolverSpec struct {
 	// Cores is the virtual rank count (0 = one rank per available block;
 	// otherwise the nearest 3:2-aspect blocking is chosen).
 	Cores int
+	// Threads caps how many virtual ranks execute concurrently on real
+	// cores: ranks are sharded into Threads contiguous groups and at most
+	// one rank per group runs at a time (0 = GOMAXPROCS; ≥ Cores disables
+	// sharding). Solutions are bitwise identical across all settings — only
+	// wall-clock and cache behavior change.
+	Threads int
 	// MachineName prices virtual time ("" = free).
 	MachineName string
 	// Options exposes the remaining solver knobs (tolerance, EVP block
@@ -355,6 +380,7 @@ func NewSolver(g *Grid, spec SolverSpec) (*Solver, error) {
 		return nil, err
 	}
 	w.Faults = spec.Faults
+	w.SetThreads(spec.Threads)
 	sess, err := core.NewSession(g, op, d, w, opts)
 	if err != nil {
 		return nil, err

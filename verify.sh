@@ -42,6 +42,25 @@ go test -race -count=1 \
     -run 'TestSteadyStateSolverAllocFree|TestPCSIResidualHistoryBitwiseDeterministic' \
     ./internal/core/
 
+echo "== worker-shard + mixed-precision gates (race) =="
+# Hardware-parallelism invariants: float64 solutions and residual histories
+# are bitwise identical across worker-shard counts (threads 1/2/4/8), the
+# mixed float32 path converges within the RMSZ gate of the float64 answer
+# on every method × preconditioner pair, stays deterministic across shard
+# counts, and its kernels are allocation-free — all under the race detector.
+go test -race -count=1 \
+    -run 'TestFloat64BitwiseAcrossThreads|TestMixedPrecisionMatchesFloat64|TestMixedPrecisionDeterministic|TestMixedKernelsZeroAlloc|TestMixedSteadyStateAllocFree' \
+    ./internal/core/
+# The sharded scheduler end to end: a -threads 1 and a -threads 4 popsolve
+# run must print identical numerics (iterations, residual, error digits).
+shard1=$(go run ./cmd/popsolve -grid test -method chrongear -precond evp -cores 12 -threads 1 | grep '^converged=')
+shard4=$(go run ./cmd/popsolve -grid test -method chrongear -precond evp -cores 12 -threads 4 | grep '^converged=')
+[ "$shard1" = "$shard4" ] || {
+    echo "popsolve numerics differ across -threads:"; echo "  1: $shard1"; echo "  4: $shard4"; exit 1; }
+# And the float32 path converges through the same CLI.
+go run ./cmd/popsolve -grid test -method pcsi -precond evp -cores 12 -precision float32 \
+    | grep -q 'converged=true'
+
 echo "== doc coverage + examples =="
 # Every exported identifier of the public surface (pop, internal/serve,
 # internal/faults, internal/analysis and its test harness) must carry a doc
