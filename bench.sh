@@ -111,3 +111,13 @@ echo "== solve service load test =="
 go run ./cmd/popbench -serve
 
 echo "bench.sh: wrote BENCH_serve.json"
+
+echo "== fleet router benchmark =="
+# Fleet vs single-process baseline on one box: the cached fleet must hold
+# ≥5× baseline throughput with p99 ≤ 2× the single-shard p99. The no-cache
+# phase records the honest dispatch-only number; its ≥2×-at-4-workers gate
+# arms only on hosts with ≥4 CPUs (mirroring the kernel scaling gate
+# above) and is reported either way in BENCH_fleet.json.
+go run ./cmd/popbench -fleet
+
+echo "bench.sh: wrote BENCH_fleet.json"

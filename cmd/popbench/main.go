@@ -6,6 +6,7 @@
 //	popbench -exp all -quick                       # everything, reduced scale
 //	popbench -serve                                # solve-service load test
 //	popbench -chaos                                # per-fault-class resilience loop
+//	popbench -fleet                                # fleet router vs single service
 //	popbench -list                                 # available experiment ids
 //
 // Full-scale 0.1° sweeps execute millions of real solver iterations across
@@ -45,6 +46,11 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "fault-injection closed loop per fault class, write BENCH_chaos.json")
 		chaosSec  = flag.Float64("chaossec", 2, "closed-loop duration per -chaos phase (seconds)")
 		chaosCli  = flag.Int("chaosclients", 8, "closed-loop client count for -chaos")
+		fleetLoad = flag.Bool("fleet", false, "benchmark the fleet router vs a single service, write BENCH_fleet.json")
+		fleetSec  = flag.Float64("fleetsec", 3, "closed-loop duration per -fleet phase (seconds)")
+		fleetCli  = flag.Int("fleetclients", 8, "closed-loop client count for -fleet")
+		fleetWk   = flag.Int("fleetworkers", 4, "worker-shard count for -fleet")
+		fleetRHS  = flag.Int("fleetrhs", 16, "distinct right-hand sides the -fleet workload cycles through")
 	)
 	flag.Parse()
 	obs.ServePprof(*pprofAddr)
@@ -62,6 +68,13 @@ func main() {
 	}
 	if *chaos {
 		if err := runChaosBench(*reportDir, *chaosSec, *chaosCli, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetLoad {
+		if err := runFleetBench(*reportDir, *fleetSec, *fleetCli, *fleetWk, *fleetRHS, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,53 +1,57 @@
-// Command popserver exposes the concurrent solve service over HTTP.
+// Command popserver exposes the concurrent solve service over HTTP — as a
+// single-process server, an in-process sharded fleet, or a router over
+// remote workers.
 //
-//	popserver -addr :8080 -sessions 2 -queue 64
+//	popserver -addr :8080 -sessions 2 -queue 64          # single service
+//	popserver -addr :8080 -fleet 4                       # 4-shard local fleet
+//	popserver -addr :8080 -routeto http://a:8081,http://b:8081
+//	popserver -probe http://localhost:8080 -frame        # one-shot client
 //
-// Submit solves as JSON; the service pools warmed sessions per
-// (grid, method, precond), batches compatible requests, and sheds load
-// when the queue fills rather than blocking:
+// The HTTP surface is versioned under /v1; the unversioned legacy paths
+// still answer identically but stamp a Deprecation header:
 //
-//	curl -s localhost:8080/solve -d '{"grid":"test","method":"pcsi","precond":"evp","rhs":"smooth"}'
+//	POST /v1/solve     solve request — JSON (api.SolveRequest) or the
+//	                   compact binary frame (Content-Type
+//	                   application/x-pop-frame), answered in kind
+//	GET  /v1/healthz   200 {"status":"ok"} while serving, 503 draining
+//	GET  /v1/stats     fleet-wide counter aggregation (api.StatsResponse):
+//	                   router counters, per-worker rows, summed totals
+//	POST /solve        deprecated shim for /v1/solve
+//	GET  /healthz      deprecated shim (plain-text ok)
+//	GET  /stats        deprecated shim for /v1/stats
+//	GET  /metrics      Prometheus text exposition (single: serve_* metrics;
+//	                   fleet modes: the router's fleet_* metrics — worker
+//	                   counters are aggregated under /v1/stats)
+//	GET  /debug/trace  Perfetto trace export (fleet modes merge every local
+//	                   worker's session tracks, re-homed per worker)
+//	GET  /debug/flight JSON flight-recorder snapshot
 //
-// Endpoints:
-//
-//	POST /solve        JSON solve request (see solveRequest)
-//	GET  /healthz      200 while serving, 503 while draining
-//	GET  /metrics      Prometheus text exposition of the serve_* metrics
-//	GET  /stats        JSON counter snapshot
-//	GET  /debug/trace  Perfetto/Chrome trace-event JSON of every session's
-//	                   rank-level spans plus the recent request records —
-//	                   load in ui.perfetto.dev or feed to cmd/poptrace
-//	GET  /debug/flight JSON flight-recorder snapshot (trigger count +
-//	                   recent request records)
+// In fleet modes, requests are consistent-hashed on their session-pool key
+// so each shard keeps its own warm sessions, concurrent identical requests
+// collapse onto one solve, and completed solves replay bitwise from a
+// content-addressed cache ("cache":"hit" in the response). Bad enum values
+// return a 400 whose body lists the accepted spellings.
 //
 // Every request carries a trace ID (client-supplied via "trace_id" or
 // assigned at admission) correlating its response with its rank-level spans
-// in the trace export. The always-on flight recorder dumps incidents
-// (faulted solves, circuit opening, -slo breaches) to -flightdir.
-//
-// SIGINT/SIGTERM triggers a graceful drain: /healthz flips to 503, the
-// listener stops accepting work, queued solves finish, then the process
-// exits — after writing a final Perfetto export to -traceout when set.
+// in the trace export. SIGINT/SIGTERM triggers a graceful drain; a final
+// Perfetto export is written to -traceout when set.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
-	"math"
 	"net/http"
 	"os"
 	"os/signal"
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -57,7 +61,7 @@ func main() {
 		cores     = flag.Int("cores", 0, "virtual ranks per session (0 = one per block)")
 		threads   = flag.Int("threads", 0, "worker shards per session: max ranks running concurrently (0 = GOMAXPROCS)")
 		tau       = flag.Float64("tau", 1920, "barotropic time step (s)")
-		sessions  = flag.Int("sessions", 2, "max warmed sessions per (grid,method,precond) key")
+		sessions  = flag.Int("sessions", 2, "max warmed sessions per (grid,method,precond,precision) key")
 		queue     = flag.Int("queue", 64, "per-key queue bound before shedding")
 		batch     = flag.Int("batch", 8, "max requests coalesced per session checkout")
 		wait      = flag.Duration("wait", 2*time.Millisecond, "batching window for stragglers")
@@ -70,11 +74,28 @@ func main() {
 		flightdir = flag.String("flightdir", "", "directory for flight-recorder incident dumps (\"\" = in-memory only)")
 		flightlen = flag.Int("flightring", 0, "flight-recorder ring capacity (0 = default)")
 		slo       = flag.Duration("slo", 0, "per-request latency SLO; breaches dump the flight recorder (0 = off)")
+
+		fleetN   = flag.Int("fleet", 0, "run an in-process fleet with this many worker shards (0 = single service)")
+		routeTo  = flag.String("routeto", "", "comma-separated remote worker base URLs; run as a router over them")
+		cacheCap = flag.Int("cache", 0, "fleet result-cache capacity in entries (0 = default 4096, negative = off)")
+		cacheTTL = flag.Duration("cachettl", 0, "fleet result-cache entry TTL (0 = default 10m, negative = no expiry)")
+
+		probe      = flag.String("probe", "", "client mode: send one solve to this base URL and exit (0 = converged)")
+		frame      = flag.Bool("frame", false, "probe mode: speak the binary frame instead of JSON")
+		probeGrid  = flag.String("grid", "test", "probe mode: grid preset")
+		probeMeth  = flag.String("method", "chrongear", "probe mode: solver method")
+		probePrec  = flag.String("precond", "diagonal", "probe mode: preconditioner")
+		probeFloat = flag.String("precision", "", "probe mode: iteration arithmetic")
 	)
 	flag.Parse()
+
+	if *probe != "" {
+		os.Exit(runProbe(*probe, *frame, *probeGrid, *probeMeth, *probePrec, *probeFloat))
+	}
+
 	obs.ServePprof(*pprofAddr)
 
-	svc := pop.NewService(pop.ServiceOptions{
+	workerOpts := pop.ServiceOptions{
 		Cores:             *cores,
 		Threads:           *threads,
 		Tau:               *tau,
@@ -88,14 +109,51 @@ func main() {
 		FlightRing:        *flightlen,
 		FlightDir:         *flightdir,
 		LatencySLO:        *slo,
-	})
-	h := &handler{svc: svc}
+	}
+
+	h := &handler{}
+	switch {
+	case *routeTo != "":
+		reg := obs.NewRegistry()
+		flt, err := pop.NewFleet(pop.FleetOptions{
+			Remotes:       splitURLs(*routeTo),
+			CacheCapacity: *cacheCap,
+			CacheTTL:      *cacheTTL,
+			Registry:      reg,
+			FlightRing:    *flightlen,
+		})
+		if err != nil {
+			log.Fatalf("popserver: %v", err)
+		}
+		h.flt, h.reg = flt, reg
+		log.Printf("popserver: routing to %d remote workers", len(splitURLs(*routeTo)))
+	case *fleetN > 0:
+		reg := obs.NewRegistry()
+		flt, err := pop.NewFleet(pop.FleetOptions{
+			Workers:       *fleetN,
+			Worker:        workerOpts,
+			CacheCapacity: *cacheCap,
+			CacheTTL:      *cacheTTL,
+			Registry:      reg,
+			FlightRing:    *flightlen,
+		})
+		if err != nil {
+			log.Fatalf("popserver: %v", err)
+		}
+		h.flt, h.reg = flt, reg
+		log.Printf("popserver: in-process fleet with %d worker shards", *fleetN)
+	default:
+		h.svc = pop.NewService(workerOpts)
+	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /solve", h.solve)
-	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("POST "+api.V1Solve, h.solve(false))
+	mux.HandleFunc("GET "+api.V1Health, h.healthV1)
+	mux.HandleFunc("GET "+api.V1Stats, h.stats(false))
+	mux.HandleFunc("POST "+api.LegacySolve, h.solve(true))
+	mux.HandleFunc("GET "+api.LegacyHealth, h.healthLegacy)
+	mux.HandleFunc("GET "+api.LegacyStats, h.stats(true))
 	mux.HandleFunc("GET /metrics", h.metrics)
-	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /debug/trace", h.trace)
 	mux.HandleFunc("GET /debug/flight", h.flight)
 	srv := &http.Server{Addr: *addr, Handler: mux}
@@ -112,11 +170,11 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("popserver: http shutdown: %v", err)
 		}
-		if err := svc.Close(ctx); err != nil {
+		if err := h.close(ctx); err != nil {
 			log.Printf("popserver: drain incomplete: %v", err)
 		}
 		if *traceout != "" {
-			if err := writeTrace(svc, *traceout); err != nil {
+			if err := h.writeTraceFile(*traceout); err != nil {
 				log.Printf("popserver: trace export: %v", err)
 			} else {
 				log.Printf("popserver: trace written to %s", *traceout)
@@ -132,234 +190,13 @@ func main() {
 	<-done
 }
 
-// solveRequest is the JSON body of POST /solve. Exactly one of B or RHS
-// supplies the right-hand side: B is an explicit vector of grid length,
-// RHS names a synthetic generator ("smooth") for load testing without
-// shipping megabytes of JSON per request.
-type solveRequest struct {
-	Grid      string    `json:"grid"`
-	Method    string    `json:"method"`
-	Precond   string    `json:"precond"`
-	B         []float64 `json:"b,omitempty"`
-	RHS       string    `json:"rhs,omitempty"`
-	X0        []float64 `json:"x0,omitempty"`
-	TimeoutMS int       `json:"timeout_ms,omitempty"`
-	ReturnX   bool      `json:"return_x,omitempty"`
-	// TraceID lets the client supply its own request-scoped trace ID
-	// (e.g. propagated from an upstream system); 0 assigns a fresh one.
-	TraceID uint64 `json:"trace_id,omitempty"`
-}
-
-type solveResponse struct {
-	Converged   bool      `json:"converged"`
-	Iterations  int       `json:"iterations"`
-	RelResidual float64   `json:"rel_residual"`
-	Solver      string    `json:"solver"`
-	ElapsedMS   float64   `json:"elapsed_ms"`
-	TraceID     uint64    `json:"trace_id"`
-	X           []float64 `json:"x,omitempty"`
-}
-
-type handler struct {
-	svc      *pop.Service
-	draining atomic.Bool
-
-	rhsMu    sync.Mutex
-	rhsCache map[string][]float64
-}
-
-func (h *handler) solve(w http.ResponseWriter, r *http.Request) {
-	if h.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	var req solveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	method, err := pop.ParseMethod(req.Method)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	precond, err := pop.ParsePrecond(req.Precond)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	b := req.B
-	if req.RHS != "" {
-		if len(b) > 0 {
-			httpError(w, http.StatusBadRequest, `"b" and "rhs" are mutually exclusive`)
-			return
-		}
-		if b, err = h.syntheticRHS(req.Grid, req.RHS); err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
+// splitURLs parses the -routeto list.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, strings.TrimRight(u, "/"))
 		}
 	}
-
-	ctx := r.Context()
-	if req.TimeoutMS > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
-		defer cancel()
-	}
-	if req.TraceID != 0 {
-		ctx = obs.ContextWithTraceID(ctx, req.TraceID)
-	}
-	start := time.Now()
-	resp, err := h.svc.Solve(ctx, pop.ServeRequest{
-		Grid: req.Grid, Method: method, Precond: precond, B: b, X0: req.X0,
-	})
-	if err != nil {
-		httpError(w, statusFor(err), err.Error())
-		return
-	}
-	out := solveResponse{
-		Converged:   resp.Result.Converged,
-		Iterations:  resp.Result.Iterations,
-		RelResidual: resp.Result.RelResidual,
-		Solver:      resp.Result.Solver,
-		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1e3,
-		TraceID:     resp.TraceID,
-	}
-	if req.ReturnX {
-		out.X = resp.X
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// statusFor maps the service's typed errors onto HTTP statuses so load
-// balancers and clients can react without parsing messages.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, pop.ErrOverloaded):
-		return http.StatusTooManyRequests
-	case errors.Is(err, pop.ErrBadSpec):
-		return http.StatusBadRequest
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled), errors.Is(err, pop.ErrServiceClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, pop.ErrCircuitOpen):
-		// Like draining: the key heals on its own once the cooldown passes,
-		// so clients should back off and retry rather than treat it fatal.
-		return http.StatusServiceUnavailable
-	case errors.Is(err, pop.ErrNotConverged):
-		return http.StatusUnprocessableEntity
-	case errors.Is(err, pop.ErrFaulted):
-		return http.StatusInternalServerError
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-// syntheticRHS builds (and caches) a smooth masked right-hand side for a
-// grid so load generators can exercise /solve with tiny request bodies.
-func (h *handler) syntheticRHS(gridName, kind string) ([]float64, error) {
-	if kind != "smooth" {
-		return nil, fmt.Errorf(`unknown rhs generator %q (want "smooth")`, kind)
-	}
-	if gridName == "" {
-		gridName = pop.GridTest
-	}
-	h.rhsMu.Lock()
-	defer h.rhsMu.Unlock()
-	if b, ok := h.rhsCache[gridName]; ok {
-		return b, nil
-	}
-	g, err := pop.NewGrid(gridName)
-	if err != nil {
-		return nil, err
-	}
-	b := make([]float64, g.N())
-	for k, ocean := range g.Mask {
-		if ocean {
-			b[k] = math.Sin(g.TLon[k]/20) * math.Cos(g.TLat[k]/15)
-		}
-	}
-	if h.rhsCache == nil {
-		h.rhsCache = make(map[string][]float64)
-	}
-	h.rhsCache[gridName] = b
-	return b, nil
-}
-
-func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
-	if h.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
-}
-
-func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := h.svc.Registry().WritePrometheus(w); err != nil {
-		log.Printf("popserver: metrics: %v", err)
-	}
-}
-
-// statsResponse wraps the counter snapshot with the server's build and
-// configuration identity, so a /stats scrape is self-describing.
-type statsResponse struct {
-	pop.ServiceStats
-	GoVersion string   `json:"go_version"`
-	Grids     []string `json:"grids"`
-}
-
-func (h *handler) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
-		ServiceStats: h.svc.Snapshot(),
-		GoVersion:    runtime.Version(),
-		Grids:        h.svc.Grids(),
-	})
-}
-
-// trace serves the live Perfetto export: every session's rank-level spans
-// plus the recent request records, loadable in ui.perfetto.dev.
-func (h *handler) trace(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := h.svc.WritePerfetto(w); err != nil {
-		log.Printf("popserver: trace export: %v", err)
-	}
-}
-
-// flightResponse is the GET /debug/flight body.
-type flightResponse struct {
-	Dumps  int64               `json:"dumps"`
-	Recent []obs.RequestRecord `json:"recent"`
-}
-
-func (h *handler) flight(w http.ResponseWriter, _ *http.Request) {
-	fr := h.svc.Flight()
-	writeJSON(w, http.StatusOK, flightResponse{Dumps: fr.Dumps(), Recent: fr.Recent()})
-}
-
-// writeTrace writes the shutdown Perfetto export to path.
-func writeTrace(svc *pop.Service, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := svc.WritePerfetto(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("popserver: encode response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+	return out
 }

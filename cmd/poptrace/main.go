@@ -82,17 +82,18 @@ func run(path string, top, league int) error {
 		n = top
 	}
 	fmt.Printf("\nper-request critical path (top %d of %d by latency, ms):\n", n, len(atts))
-	fmt.Printf("  %-8s %-22s %9s %8s %8s %8s %8s %8s %8s %8s %6s\n",
-		"trace", "key", "total", "admit", "queue", "batch", "compute", "halo", "reduce", "slack", "cover")
+	fmt.Printf("  %-8s %-22s %9s %8s %8s %8s %8s %8s %8s %8s %8s %6s\n",
+		"trace", "key", "total", "router", "admit", "queue", "batch", "compute", "halo", "reduce", "slack", "cover")
 	for _, a := range atts[:n] {
-		fmt.Printf("  %-8d %-22s %9.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %5.1f%%\n",
-			a.TraceID, a.Key, a.Total*1e3, a.Admit*1e3, a.Queue*1e3, a.BatchWait*1e3,
+		fmt.Printf("  %-8d %-22s %9.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %5.1f%%\n",
+			a.TraceID, a.Key, a.Total*1e3, a.Router*1e3, a.Admit*1e3, a.Queue*1e3, a.BatchWait*1e3,
 			a.Compute*1e3, a.Halo*1e3, a.Reduce*1e3, a.Slack*1e3, a.Coverage()*100)
 	}
 
 	// Aggregate: the serving-layer phase breakdown summed over requests.
 	var agg obs.Attribution
 	for _, a := range atts {
+		agg.Router += a.Router
 		agg.Admit += a.Admit
 		agg.Queue += a.Queue
 		agg.BatchWait += a.BatchWait
@@ -108,6 +109,7 @@ func run(path string, top, league int) error {
 		name string
 		v    float64
 	}{
+		{"router", agg.Router},
 		{"admit", agg.Admit}, {"queue", agg.Queue}, {"batch-wait", agg.BatchWait},
 		{"compute", agg.Compute}, {"halo", agg.Halo}, {"reduce", agg.Reduce},
 		{"straggler-slack", agg.Slack},

@@ -11,13 +11,16 @@ import (
 )
 
 // typedErrScope is the error-contract surface: the public facade, the
-// serving layer, and the solver core — the packages whose errors PR 3–4
+// serving layer, the wire API, the fleet router, and the solver core —
+// the packages whose errors PR 3–4
 // taught callers to match with errors.Is/As (ErrBadSpec, ErrOverloaded,
 // *NotConvergedError, *FaultedError, …).
 var typedErrScope = []string{
 	"repro",
 	"repro/internal/serve",
 	"repro/internal/core",
+	"repro/internal/api",
+	"repro/internal/fleet",
 }
 
 // TypedErr reports error constructions that break the errors.Is/As

@@ -1,0 +1,251 @@
+package api
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseDefaultsAndSpellings(t *testing.T) {
+	c, err := (&SolveRequest{}).Parse()
+	if err != nil {
+		t.Fatalf("empty request: %v", err)
+	}
+	if c.Method != core.MethodChronGear || c.Precond != core.PrecondDiagonal || c.Precision != core.Float64 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+
+	c, err = (&SolveRequest{Method: "pcsi", Precond: "evp", Precision: "fp32"}).Parse()
+	if err != nil {
+		t.Fatalf("pcsi/evp/fp32: %v", err)
+	}
+	if c.Method != core.MethodPCSI || c.Precond != core.PrecondEVP || c.Precision != core.Float32 {
+		t.Fatalf("parsed wrong: %+v", c)
+	}
+
+	// csi stays the distinct alias at the wire boundary; serve's key
+	// normalization canonicalizes it to PCSI + identity downstream.
+	c, err = (&SolveRequest{Method: "csi"}).Parse()
+	if err != nil {
+		t.Fatalf("csi: %v", err)
+	}
+	if c.Method != core.MethodCSI {
+		t.Fatalf("csi parse wrong: %+v", c)
+	}
+}
+
+func TestParseBadEnumListsAccepted(t *testing.T) {
+	cases := []struct {
+		req   SolveRequest
+		field string
+		names []string
+	}{
+		{SolveRequest{Method: "gmres"}, "method", acceptedMethods},
+		{SolveRequest{Precond: "ilu"}, "precond", acceptedPreconds},
+		{SolveRequest{Precision: "fp16"}, "precision", acceptedPrecisions},
+	}
+	for _, tc := range cases {
+		_, err := tc.req.Parse()
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.field)
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: error %T is not *FieldError", tc.field, err)
+		}
+		if fe.Field != tc.field {
+			t.Fatalf("field = %q, want %q", fe.Field, tc.field)
+		}
+		if !reflect.DeepEqual(fe.Accepted, tc.names) {
+			t.Fatalf("%s accepted = %v, want %v", tc.field, fe.Accepted, tc.names)
+		}
+		if !errors.Is(err, core.ErrBadSpec) {
+			t.Fatalf("%s: FieldError must wrap ErrBadSpec", tc.field)
+		}
+		for _, n := range tc.names {
+			if !strings.Contains(err.Error(), n) {
+				t.Fatalf("%s: message %q misses accepted name %q", tc.field, err.Error(), n)
+			}
+		}
+	}
+}
+
+func TestParseBAndRHSMutuallyExclusive(t *testing.T) {
+	_, err := (&SolveRequest{B: []float64{1}, RHS: "smooth"}).Parse()
+	if !errors.Is(err, core.ErrBadSpec) {
+		t.Fatalf("b+rhs: got %v, want ErrBadSpec", err)
+	}
+}
+
+func TestFrameRequestRoundTrip(t *testing.T) {
+	in := FrameRequest{
+		Grid:      "test",
+		Method:    core.MethodPCSI,
+		Precond:   core.PrecondEVP,
+		Precision: core.Float32,
+		B:         []float64{1.5, -2.25, math.Pi, 0, math.Copysign(0, -1)},
+		X0:        []float64{0.5, 0.25, 0, 1, 2},
+		TimeoutMS: 1234,
+		ReturnX:   true,
+		NoCache:   true,
+		TraceID:   0xDEADBEEFCAFE,
+	}
+	raw := AppendFrameRequest(nil, in)
+	kind, err := FrameKind(raw)
+	if err != nil || kind != FrameSolveRequest {
+		t.Fatalf("kind = %d, %v", kind, err)
+	}
+	out, err := DecodeFrameRequest(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	// -0 must survive bitwise.
+	if math.Signbit(out.B[4]) != true {
+		t.Fatalf("-0 lost its sign bit")
+	}
+
+	// Without x0 the flag clears and X0 decodes nil.
+	in.X0 = nil
+	out, err = DecodeFrameRequest(AppendFrameRequest(nil, in))
+	if err != nil {
+		t.Fatalf("decode no-x0: %v", err)
+	}
+	if out.X0 != nil {
+		t.Fatalf("X0 = %v, want nil", out.X0)
+	}
+}
+
+func TestFrameResponseRoundTrip(t *testing.T) {
+	in := SolveResponse{
+		Converged:   true,
+		Iterations:  42,
+		OuterIters:  3,
+		RelResidual: 7.5e-14,
+		Solver:      "pcsi",
+		Precision:   "float32",
+		ElapsedMS:   1.75,
+		TraceID:     99,
+		Cache:       "dedup",
+		Shard:       2,
+		X:           []float64{1, 2, 3},
+	}
+	out, err := DecodeFrameResponse(AppendFrameResponse(nil, in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+
+	// Shard -1 and empty cache state survive.
+	in = SolveResponse{Solver: "chrongear", Precision: "float64", Shard: -1}
+	out, err = DecodeFrameResponse(AppendFrameResponse(nil, in))
+	if err != nil {
+		t.Fatalf("decode shardless: %v", err)
+	}
+	if out.Shard != -1 || out.Cache != "" || out.X != nil {
+		t.Fatalf("shardless mismatch: %+v", out)
+	}
+}
+
+func TestFrameErrorRoundTrip(t *testing.T) {
+	raw := AppendFrameError(nil, 429, "queue full")
+	status, msg, err := DecodeFrameError(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if status != 429 || msg != "queue full" {
+		t.Fatalf("got %d %q", status, msg)
+	}
+}
+
+func TestFrameRejectsDamage(t *testing.T) {
+	good := AppendFrameRequest(nil, FrameRequest{Grid: "test", B: []float64{1, 2, 3}})
+
+	// Every strict prefix must be rejected, never panic.
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeFrameRequest(good[:n]); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("prefix len %d: got %v, want ErrBadFrame", n, err)
+		}
+	}
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := DecodeFrameRequest(bad); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[4] = 9
+	if _, err := DecodeFrameRequest(bad); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad version: %v", err)
+	}
+
+	// A response frame handed to the request decoder is a kind mismatch.
+	resp := AppendFrameResponse(nil, SolveResponse{Solver: "pcg", Shard: -1})
+	if _, err := DecodeFrameRequest(resp); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("kind mismatch: %v", err)
+	}
+
+	// An out-of-range enum byte is a FieldError, like the JSON path.
+	bad = append([]byte(nil), good...)
+	bad[6] = 200 // method byte
+	var fe *FieldError
+	if _, err := DecodeFrameRequest(bad); !errors.As(err, &fe) || fe.Field != "method" {
+		t.Fatalf("bad method byte: want FieldError{method}, got %v", err)
+	}
+}
+
+func TestHashSolveDeterminismAndSensitivity(t *testing.T) {
+	b := []float64{1, 2, 3}
+	base := HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, b, nil)
+	if base != HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, []float64{1, 2, 3}, nil) {
+		t.Fatalf("hash not deterministic")
+	}
+
+	variants := []CacheKey{
+		HashSolve("small", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, b, nil),
+		HashSolve("test", core.MethodPCG, core.PrecondEVP, core.Float64, 1e-13, b, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondDiagonal, core.Float64, 1e-13, b, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float32, 1e-13, b, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-10, b, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, []float64{1, 2, 4}, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, b, []float64{0, 0, 1}),
+	}
+	seen := map[CacheKey]bool{base: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Fatalf("variant %d collides with an earlier key", i)
+		}
+		seen[v] = true
+	}
+
+	// Last-ulp and sign-of-zero differences must produce distinct keys.
+	ulp := []float64{1, 2, math.Nextafter(3, 4)}
+	if HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, ulp, nil) == base {
+		t.Fatalf("ulp difference not reflected in key")
+	}
+	negz := []float64{1, 2, math.Copysign(0, -1)}
+	posz := []float64{1, 2, 0}
+	if HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, negz, nil) ==
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, posz, nil) {
+		t.Fatalf("-0 and +0 conflated")
+	}
+}
+
+func TestServiceCountersAdd(t *testing.T) {
+	a := ServiceCounters{Requests: 1, Shed: 2, Expired: 3, Solves: 4, Batches: 5, Errors: 6, Sessions: 7, Retried: 8, Faulted: 9, Recovered: 10, CircuitShed: 11}
+	b := a
+	b.Add(a)
+	want := ServiceCounters{Requests: 2, Shed: 4, Expired: 6, Solves: 8, Batches: 10, Errors: 12, Sessions: 14, Retried: 16, Faulted: 18, Recovered: 20, CircuitShed: 22}
+	if b != want {
+		t.Fatalf("Add: got %+v, want %+v", b, want)
+	}
+}

@@ -1,0 +1,58 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+)
+
+// CacheKey is the content hash that keys the fleet's completed-solve
+// cache: SHA-256 over a canonical, length-prefixed encoding of everything
+// that determines a solve's bit pattern.
+type CacheKey [sha256.Size]byte
+
+// HashSolve computes the cache key for one solve: grid preset, method,
+// preconditioner, precision, the effective tolerance, the RHS bits and
+// (when present) the initial-guess bits. Two requests share a key exactly
+// when a fault-free solve of one is bitwise substitutable for the other —
+// the deterministic-solver invariant the cache's replay guarantee rests
+// on. Float64 values are hashed by their IEEE bit patterns, so -0 ≠ +0
+// and equal-looking decimals that differ in the last ulp get distinct
+// keys: the cache never conflates solves the solver itself would
+// distinguish.
+func HashSolve(grid string, method core.Method, precond core.PrecondType, precision core.Precision, tol float64, b, x0 []float64) CacheKey {
+	h := sha256.New()
+	var scratch [8]byte
+
+	writeStr := func(s string) {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(s)))
+		h.Write(scratch[:4])
+		h.Write([]byte(s))
+	}
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	writeVec := func(v []float64) {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(v)))
+		h.Write(scratch[:4])
+		for _, f := range v {
+			writeU64(math.Float64bits(f))
+		}
+	}
+
+	writeStr("popfleet/v1") // domain separator, bumped on any layout change
+	writeStr(grid)
+	writeU64(uint64(method))
+	writeU64(uint64(precond))
+	writeU64(uint64(precision))
+	writeU64(math.Float64bits(tol))
+	writeVec(b)
+	writeVec(x0) // nil and empty both hash as length 0 = zero guess
+
+	var key CacheKey
+	h.Sum(key[:0])
+	return key
+}

@@ -1,0 +1,119 @@
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Accepted enum spellings, surfaced verbatim in 400 bodies so a rejected
+// request tells the client how to fix itself. Order matches the parse
+// switch cases; the default spelling comes first.
+var (
+	acceptedMethods    = []string{"chrongear", "pcg", "pipecg", "pcsi", "csi"}
+	acceptedPreconds   = []string{"diagonal", "evp", "blocklu", "none"}
+	acceptedPrecisions = []string{"float64", "fp64", "double", "float32", "fp32", "single"}
+)
+
+// AcceptedMethods lists the method names ParseMethod accepts ("" defaults
+// to the first entry).
+func AcceptedMethods() []string { return append([]string(nil), acceptedMethods...) }
+
+// AcceptedPreconds lists the preconditioner names ParsePrecond accepts
+// ("" defaults to the first entry).
+func AcceptedPreconds() []string { return append([]string(nil), acceptedPreconds...) }
+
+// AcceptedPrecisions lists the precision names ParsePrecision accepts
+// ("" defaults to the first entry).
+func AcceptedPrecisions() []string { return append([]string(nil), acceptedPrecisions...) }
+
+// FieldError reports a request field whose value failed enum validation.
+// It wraps core.ErrBadSpec (so errors.Is keeps matching the typed-error
+// contract) and carries the accepted spellings for the 400 body.
+type FieldError struct {
+	// Field is the wire name of the failing field ("method", "precond",
+	// "precision").
+	Field string
+	// Value is the rejected input.
+	Value string
+	// Accepted lists the spellings the field takes.
+	Accepted []string
+}
+
+// Error renders the message used in error bodies and logs.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("unknown %s %q (accepted: %s)", e.Field, e.Value, joinNames(e.Accepted))
+}
+
+// Unwrap ties FieldError into the ErrBadSpec matching chain.
+func (e *FieldError) Unwrap() error { return core.ErrBadSpec }
+
+// joinNames renders a comma-separated accepted-values list.
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// Canonical is a SolveRequest after boundary normalization: enums parsed
+// exactly once, right here — nothing downstream re-parses strings.
+type Canonical struct {
+	// Grid is the preset name ("" normalized downstream to the default).
+	Grid string
+	// Method is the parsed solver algorithm.
+	Method core.Method
+	// Precond is the parsed preconditioner.
+	Precond core.PrecondType
+	// Precision is the parsed iteration arithmetic.
+	Precision core.Precision
+	// B is the explicit right-hand side (nil when RHS named a generator
+	// still to be resolved by the server).
+	B []float64
+	// X0 is the initial guess (nil = zero).
+	X0 []float64
+	// ReturnX mirrors SolveRequest.ReturnX.
+	ReturnX bool
+	// TraceID mirrors SolveRequest.TraceID.
+	TraceID uint64
+	// NoCache mirrors SolveRequest.NoCache.
+	NoCache bool
+}
+
+// Parse normalizes the request's enum fields through the core parsers —
+// the single place wire strings become typed values. A bad spelling
+// returns a *FieldError listing the accepted names (HTTP layers render it
+// as a 400 with ErrorBody.Accepted populated); B/RHS mutual exclusion is
+// also enforced here.
+func (r *SolveRequest) Parse() (Canonical, error) {
+	method, err := core.ParseMethod(r.Method)
+	if err != nil {
+		return Canonical{}, &FieldError{Field: "method", Value: r.Method, Accepted: acceptedMethods}
+	}
+	precond, err := core.ParsePrecond(r.Precond)
+	if err != nil {
+		return Canonical{}, &FieldError{Field: "precond", Value: r.Precond, Accepted: acceptedPreconds}
+	}
+	precision, err := core.ParsePrecision(r.Precision)
+	if err != nil {
+		return Canonical{}, &FieldError{Field: "precision", Value: r.Precision, Accepted: acceptedPrecisions}
+	}
+	if r.RHS != "" && len(r.B) > 0 {
+		return Canonical{}, fmt.Errorf(`api: "b" and "rhs" are mutually exclusive: %w`, core.ErrBadSpec)
+	}
+	return Canonical{
+		Grid:      r.Grid,
+		Method:    method,
+		Precond:   precond,
+		Precision: precision,
+		B:         r.B,
+		X0:        r.X0,
+		ReturnX:   r.ReturnX,
+		TraceID:   r.TraceID,
+		NoCache:   r.NoCache,
+	}, nil
+}

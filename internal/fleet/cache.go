@@ -1,0 +1,126 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/core"
+)
+
+// resultCache is the completed-solve cache: content hash → the solve's
+// Result and solution vector, with LRU eviction and TTL expiry. Because
+// solves are deterministic (same key bits → same residual history → same
+// solution bits), a hit replays the original solve bitwise — the cache
+// never serves an approximation.
+//
+// TTL exists for operational hygiene, not correctness: entries never go
+// stale in the deterministic sense, but bounding lifetime keeps a
+// long-running router's memory shaped by recent traffic. Expiry is checked
+// lazily at lookup; there is no sweeper goroutine.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[api.CacheKey]*list.Element
+	lru     *list.List // front = most recent
+	cap     int
+	ttl     time.Duration
+	now     func() time.Time
+
+	hits, misses, evictions, expirations int64
+}
+
+// cacheEntry is one cached solve. x is private to the cache; Get hands out
+// copies so no caller can corrupt the replay.
+type cacheEntry struct {
+	key      api.CacheKey
+	res      core.Result
+	x        []float64
+	storedAt time.Time
+}
+
+// newResultCache builds a cache holding up to capacity entries for up to
+// ttl each (ttl ≤ 0 = no expiry). now is the clock, injectable so TTL tests
+// are deterministic; nil uses time.Now.
+func newResultCache(capacity int, ttl time.Duration, now func() time.Time) *resultCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &resultCache{
+		entries: make(map[api.CacheKey]*list.Element),
+		lru:     list.New(),
+		cap:     capacity,
+		ttl:     ttl,
+		now:     now,
+	}
+}
+
+// get returns the cached solve for key, or ok=false on miss. A hit
+// freshens the entry's LRU position and returns an independent copy of the
+// solution vector; an expired entry counts as a miss and is dropped.
+func (c *resultCache) get(key api.CacheKey) (core.Result, []float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return core.Result{}, nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.now().Sub(e.storedAt) >= c.ttl {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.expirations++
+		c.misses++
+		return core.Result{}, nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	x := make([]float64, len(e.x))
+	copy(x, e.x)
+	return e.res, x, true
+}
+
+// put stores a completed solve, copying x, and evicts from the LRU tail
+// past capacity. Re-putting an existing key refreshes its value, position
+// and TTL clock.
+func (c *resultCache) put(key api.CacheKey, res core.Result, x []float64) {
+	if c.cap <= 0 {
+		return
+	}
+	xc := make([]float64, len(x))
+	copy(xc, x)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.res, e.x, e.storedAt = res, xc, c.now()
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, res: res, x: xc, storedAt: c.now()})
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// cacheStats is a point-in-time snapshot of the cache counters.
+type cacheStats struct {
+	entries, hits, misses, evictions, expirations int64
+}
+
+// stats snapshots the counters.
+func (c *resultCache) stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		entries:     int64(c.lru.Len()),
+		hits:        c.hits,
+		misses:      c.misses,
+		evictions:   c.evictions,
+		expirations: c.expirations,
+	}
+}

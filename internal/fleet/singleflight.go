@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/serve"
+)
+
+// flightGroup collapses concurrent identical requests: while one solve for
+// a content hash is in flight, followers wait on its completion instead of
+// dispatching duplicates. Combined with the result cache this gives the
+// classic thundering-herd shape: one worker solve feeds every concurrent
+// waiter, and the cache feeds everyone after.
+//
+// This is a purpose-built implementation (the repo takes no external
+// dependencies): a map of in-flight calls keyed by content hash, each with
+// a done channel followers select on alongside their own context.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[api.CacheKey]*flightCall
+}
+
+// dispatched is one worker solve's outcome as the group shares it: the
+// worker response plus the shard that ran it.
+type dispatched struct {
+	resp  serve.Response
+	shard int
+}
+
+// flightCall is one in-flight solve and its shared outcome.
+type flightCall struct {
+	done chan struct{}
+	out  dispatched
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[api.CacheKey]*flightCall)}
+}
+
+// do runs fn for key, collapsing concurrent callers: the first caller (the
+// leader) executes fn; followers block until the leader finishes and share
+// its outcome. shared=true marks a follower. Followers receive the
+// leader's outcome verbatim — the router copies X per caller before
+// replying, so sharing the backing array here is safe.
+//
+// A follower whose ctx ends first abandons the wait without cancelling the
+// leader (the leader's own context governs the solve).
+func (g *flightGroup) do(ctx context.Context, key api.CacheKey, fn func() (dispatched, error)) (out dispatched, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.out, c.err, true
+		case <-ctx.Done():
+			return dispatched{}, context.Cause(ctx), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.out, c.err = fn()
+
+	// Remove before closing: a caller arriving after close must start a
+	// fresh call, never read a completed one as "in flight".
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.out, c.err, false
+}

@@ -41,6 +41,10 @@ type RequestRecord struct {
 	Session int `json:"session"`
 	// StartUnixNS is the admission wall time (UnixNano).
 	StartUnixNS int64 `json:"start_unix_ns"`
+	// RouterNS is wall time spent in a fleet router before the request
+	// reached a worker (hashing, cache lookup, singleflight coordination,
+	// dispatch). 0 for requests that never crossed a router.
+	RouterNS int64 `json:"router_ns,omitempty"`
 	// AdmitNS is wall time spent in admission: validation, normalization,
 	// pool lookup and warm-up, up to the queue send.
 	AdmitNS int64 `json:"admit_ns"`
@@ -64,6 +68,13 @@ type RequestRecord struct {
 	Error string `json:"error,omitempty"`
 	// Ranks is the virtual rank count of the session's world.
 	Ranks int `json:"ranks"`
+	// Shard is the fleet worker that ran the solve (−1 when the request
+	// never dispatched to a worker: single-process serving, cache hits,
+	// router-level rejections).
+	Shard int `json:"shard,omitempty"`
+	// Cache reports how a fleet router satisfied the request: "hit",
+	// "miss", "dedup" — "" when no router was involved.
+	Cache string `json:"cache,omitempty"`
 	// VCompMean, VHaloMean, VReduceMean are the solve's per-rank mean
 	// virtual seconds in computation, boundary update, and global
 	// reduction — the paper's three POP timer phases.
@@ -398,6 +409,9 @@ type Attribution struct {
 	// TraceID and Key identify the request.
 	TraceID uint64
 	Key     string // see TraceID
+	// Router is fleet-router time (hash, cache, dedup, dispatch) in
+	// seconds; 0 when the request never crossed a router.
+	Router float64
 	// Admit, Queue, BatchWait, Compute, Halo, Reduce, Slack are the phase
 	// durations in seconds.
 	Admit, Queue, BatchWait, Compute, Halo, Reduce, Slack float64
@@ -405,9 +419,9 @@ type Attribution struct {
 	Total float64
 }
 
-// Sum returns the attributed time: the seven phase durations added up.
+// Sum returns the attributed time: the eight phase durations added up.
 func (a Attribution) Sum() float64 {
-	return a.Admit + a.Queue + a.BatchWait + a.Compute + a.Halo + a.Reduce + a.Slack
+	return a.Router + a.Admit + a.Queue + a.BatchWait + a.Compute + a.Halo + a.Reduce + a.Slack
 }
 
 // Coverage returns Sum/Total — how much of the measured latency the phases
@@ -426,6 +440,7 @@ func AttributeRecord(rec RequestRecord) Attribution {
 	a := Attribution{
 		TraceID:   rec.TraceID,
 		Key:       rec.Key,
+		Router:    float64(rec.RouterNS) / 1e9,
 		Admit:     float64(rec.AdmitNS) / 1e9,
 		Queue:     float64(rec.QueueNS) / 1e9,
 		BatchWait: float64(rec.BatchWaitNS) / 1e9,

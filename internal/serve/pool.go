@@ -174,6 +174,7 @@ func (p *keyPool) build() (*core.Session, *sessionSlot, error) {
 	o := p.svc.opts
 	opts := o.Solver
 	opts.Precond = p.key.Precond
+	opts.Precision = p.key.Precision
 
 	var d *decomp.Decomposition
 	if o.Cores > 0 {
@@ -353,6 +354,7 @@ func (p *keyPool) runBatch(sess *core.Session, slot *sessionSlot, batch []*reque
 			AdmitNS:     r.enqueued.Sub(r.start).Nanoseconds(),
 			QueueNS:     r.dequeued.Sub(r.enqueued).Nanoseconds(),
 			Ranks:       slot.ranks,
+			Shard:       -1, // the fleet layer stamps real shards on its own records
 		}
 		if r.ctx.Err() != nil {
 			m.expired.Inc()

@@ -158,7 +158,9 @@ func (o Options) withDefaults() Options {
 
 // Key identifies a session pool: requests with equal keys share warmed
 // sessions. MethodCSI is normalized to MethodPCSI + PrecondIdentity before
-// keying, so "csi" and "pcsi/none" requests share a pool.
+// keying, so "csi" and "pcsi/none" requests share a pool. Precision is part
+// of the key because mixed-precision sessions carry their own float32
+// arenas — a float32 solve can never reuse a float64 session.
 type Key struct {
 	// Grid is the resolved preset name.
 	Grid string
@@ -166,11 +168,20 @@ type Key struct {
 	Method core.Method
 	// Precond is the normalized preconditioner.
 	Precond core.PrecondType
+	// Precision is the iteration arithmetic (zero value = Float64).
+	Precision core.Precision
 }
 
-// String renders the key for metric labels: "test/pcsi/evp".
+// String renders the key for metric labels: "test/pcsi/evp". Float64 — the
+// overwhelmingly common case — is implicit; float32 keys append a fourth
+// segment ("test/pcsi/evp/float32") so pre-existing float64 labels stay
+// stable.
 func (k Key) String() string {
-	return k.Grid + "/" + k.Method.String() + "/" + k.Precond.String()
+	s := k.Grid + "/" + k.Method.String() + "/" + k.Precond.String()
+	if k.Precision == core.Float32 {
+		s += "/" + k.Precision.String()
+	}
+	return s
 }
 
 // Request is one solve submission.
@@ -183,6 +194,10 @@ type Request struct {
 	// Precond selects the preconditioner; the zero value is diagonal,
 	// POP's default.
 	Precond core.PrecondType
+	// Precision selects the iteration arithmetic; the zero value is
+	// Float64. Float32 requests run mixed-precision solves with iterative
+	// refinement on their own session pool.
+	Precision core.Precision
 	// B is the right-hand side (length = grid N). X0 is the initial guess
 	// (nil = zero).
 	B, X0 []float64
@@ -335,7 +350,10 @@ func normalize(req *Request) (Key, error) {
 	if !req.Precond.Valid() {
 		return Key{}, fmt.Errorf("serve: unknown preconditioner %v: %w", req.Precond, core.ErrBadSpec)
 	}
-	k := Key{Grid: req.Grid, Method: req.Method, Precond: req.Precond}
+	if !req.Precision.Valid() {
+		return Key{}, fmt.Errorf("serve: unknown precision %v: %w", req.Precision, core.ErrBadSpec)
+	}
+	k := Key{Grid: req.Grid, Method: req.Method, Precond: req.Precond, Precision: req.Precision}
 	if k.Grid == "" {
 		k.Grid = grid.PresetTest
 	}
@@ -345,6 +363,13 @@ func normalize(req *Request) (Key, error) {
 	}
 	return k, nil
 }
+
+// NormalizeRequest validates req's algorithm selection and returns the
+// session-pool key it would be served under — the same normalization Solve
+// applies at admission, exported so the fleet router can shard on the
+// canonical key (csi and pcsi/none land on the same shard, exactly as they
+// share a pool here).
+func NormalizeRequest(req Request) (Key, error) { return normalize(&req) }
 
 // Solve submits one request and blocks until its solve completes, the
 // context is done, or the request is shed. Safe for concurrent use. The
@@ -501,6 +526,17 @@ func (s *Service) Flight() *obs.FlightRecorder { return s.flight }
 // Sessions built without tracing (Options.TraceCapacity == 0) contribute
 // only request records.
 func (s *Service) WritePerfetto(w io.Writer) error {
+	tracks, dropped := s.ExportTracks()
+	return obs.WritePerfetto(w, tracks, s.flight.Recent(), dropped)
+}
+
+// ExportTracks snapshots every traced session's rank-level spans as Perfetto
+// tracks (PID = session index + 1, as WritePerfetto renders them) and
+// returns them with the total ring-drop count. It serializes against each
+// session's worker exactly like WritePerfetto. The fleet layer uses it to
+// merge worker tracks — rewriting PIDs and process names per worker — into
+// one fleet-wide trace.
+func (s *Service) ExportTracks() ([]obs.Track, int64) {
 	s.sessMu.Lock()
 	slots := append([]*sessionSlot(nil), s.sess...)
 	s.sessMu.Unlock()
@@ -524,7 +560,7 @@ func (s *Service) WritePerfetto(w io.Writer) error {
 		}
 		sl.mu.Unlock()
 	}
-	return obs.WritePerfetto(w, tracks, s.flight.Recent(), dropped)
+	return tracks, dropped
 }
 
 // Close drains the service: new requests are rejected with ErrClosed,

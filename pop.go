@@ -27,6 +27,7 @@ import (
 	"repro/internal/decomp"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -100,6 +101,21 @@ type (
 	ServeResponse = serve.Response
 	// ServiceStats is a snapshot of a Service's counters.
 	ServiceStats = serve.Stats
+
+	// Fleet is the sharded serving layer: N solve workers behind a router
+	// with consistent-hash sharding, singleflight deduplication, and a
+	// content-addressed result cache that replays completed solves bitwise.
+	Fleet = fleet.Fleet
+	// FleetOptions configures NewFleet.
+	FleetOptions = fleet.Options
+	// FleetRequest is one solve submission to a Fleet.
+	FleetRequest = fleet.Request
+	// FleetResponse is one completed Fleet solve (worker response plus
+	// cache disposition and shard).
+	FleetResponse = fleet.Response
+	// FleetWorker is one solve shard behind a Fleet router (in-process or
+	// remote over the binary frame protocol).
+	FleetWorker = fleet.Worker
 
 	// MetricsRegistry is the metrics registry a Service reports into
 	// (counters, gauges, histograms with Prometheus text exposition).
@@ -221,6 +237,16 @@ func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s)
 // NewService starts a concurrent solve service: Solve from any number of
 // goroutines; Close drains it. See cmd/popserver for the HTTP front end.
 func NewService(opts ServiceOptions) *Service { return serve.New(opts) }
+
+// NewFleet starts a sharded solve fleet: N workers (in-process services,
+// or remote popservers when FleetOptions.Remotes is set) behind a router
+// with consistent-hash sharding, singleflight dedup, and a result cache.
+// See cmd/popserver's -fleet and -routeto modes for the HTTP front end.
+func NewFleet(opts FleetOptions) (*Fleet, error) { return fleet.New(opts) }
+
+// NewLocalFleetWorker wraps an in-process Service as a Fleet worker. Build
+// each worker's Service with its own private metrics registry.
+func NewLocalFleetWorker(svc *Service) FleetWorker { return fleet.NewLocalWorker(svc) }
 
 // NewTraceID allocates a fresh request trace ID (monotone, deterministic —
 // never derived from time or randomness).

@@ -174,6 +174,9 @@ curl -fs "http://$addr/stats" > "$tmp/stats.json"
 grep -q '"go_version":"go' "$tmp/stats.json"
 grep -q '"grids":\[' "$tmp/stats.json"
 grep -q '"test"' "$tmp/stats.json"
+# The /v1 surface answers and the legacy shim carries the Deprecation header.
+curl -fs "http://$addr/v1/healthz" | grep -q '"status":"ok"'
+curl -fsi "http://$addr/healthz" | grep -qi '^deprecation: version="v1"'
 # SIGTERM drains gracefully and the process exits on its own.
 kill -TERM "$server_pid"
 for _ in $(seq 1 50); do
@@ -183,5 +186,74 @@ done
 if kill -0 "$server_pid" 2>/dev/null; then
     echo "popserver did not exit after SIGTERM"; exit 1
 fi
+
+echo "== fleet smoke run (router + 2 workers over the binary frame) =="
+# Two worker popservers, a router consistent-hashing onto them over the
+# compact binary frame, and the fleet guarantees end to end: /v1/solve in
+# both encodings, a bitwise cache replay on the identical repeat, enum
+# validation with self-repairing 400s, the legacy shim, and /v1/stats
+# aggregation whose totals sum the workers' own counters.
+w1=127.0.0.1:18421; w2=127.0.0.1:18422; router=127.0.0.1:18423
+"$tmp/popserver" -addr "$w1" > "$tmp/w1.log" 2>&1 &
+w1_pid=$!
+"$tmp/popserver" -addr "$w2" > "$tmp/w2.log" 2>&1 &
+w2_pid=$!
+trap 'rm -rf "$tmp"; kill "$server_pid" "$w1_pid" "$w2_pid" "$router_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do
+    curl -fs "http://$w1/v1/healthz" > /dev/null 2>&1 \
+        && curl -fs "http://$w2/v1/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+"$tmp/popserver" -addr "$router" -routeto "http://$w1,http://$w2" > "$tmp/router.log" 2>&1 &
+router_pid=$!
+for _ in $(seq 1 50); do
+    curl -fs "http://$router/v1/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+# JSON /v1/solve through the router: a miss dispatched to a shard.
+curl -fs -X POST "http://$router/v1/solve" \
+    -d '{"grid":"test","method":"pcsi","precond":"evp","rhs":"smooth"}' \
+    > "$tmp/fleet1.json"
+grep -q '"converged":true' "$tmp/fleet1.json"
+grep -q '"cache":"miss"' "$tmp/fleet1.json"
+# The binary-frame probe sends the identical request: it must replay from
+# the result cache without consulting a worker.
+"$tmp/popserver" -probe "http://$router" -frame -method pcsi -precond evp \
+    > "$tmp/probe.txt"
+grep -q 'converged=true' "$tmp/probe.txt"
+grep -q 'cache=hit' "$tmp/probe.txt"
+grep -q 'shard=-1' "$tmp/probe.txt"
+# A 400 names the failing field and lists the accepted spellings.
+curl -s -X POST "http://$router/v1/solve" -d '{"method":"warp","rhs":"smooth"}' \
+    > "$tmp/fleet400.json"
+grep -q '"field":"method"' "$tmp/fleet400.json"
+grep -q '"accepted":\["chrongear"' "$tmp/fleet400.json"
+# The legacy shim still solves, deprecated.
+curl -fsi -X POST "http://$router/solve" \
+    -d '{"grid":"test","method":"pcsi","precond":"evp","rhs":"smooth"}' \
+    > "$tmp/legacy.txt"
+grep -qi '^deprecation: version="v1"' "$tmp/legacy.txt"
+grep -q '"converged":true' "$tmp/legacy.txt"
+# /v1/stats: the router's totals row must sum the worker rows exactly, and
+# the fleet counters must have seen our hit and misses.
+curl -fs "http://$router/v1/stats" > "$tmp/fleetstats.json"
+python3 - "$tmp/fleetstats.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["fleet"]["cache_hits"] >= 1, s["fleet"]
+assert s["fleet"]["cache_misses"] >= 1, s["fleet"]
+for field in ("requests", "solves", "sessions", "errors"):
+    total = sum(w["counters"][field] for w in s["workers"])
+    assert s["totals"][field] == total, (field, s["totals"][field], total)
+assert sum(w["counters"]["solves"] for w in s["workers"]) >= 1
+assert all(w["healthy"] for w in s["workers"]), s["workers"]
+EOF
+# The router serves its fleet_* metrics (hit count asserted above).
+curl -fs "http://$router/metrics" | grep -q '^fleet_cache_hits_total '
+kill -TERM "$router_pid" "$w1_pid" "$w2_pid" 2>/dev/null || true
+for _ in $(seq 1 50); do
+    kill -0 "$router_pid" 2>/dev/null || break
+    sleep 0.1
+done
 
 echo "verify.sh: OK"
