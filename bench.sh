@@ -121,3 +121,11 @@ echo "== fleet router benchmark =="
 go run ./cmd/popbench -fleet
 
 echo "bench.sh: wrote BENCH_fleet.json"
+
+echo "== s-step reduction-crossover sweep =="
+# Communication-avoiding s-step CG vs ChronGear and P-CSI at the same
+# tolerance: iterations, reductions per rank (gated at ceil(iters/s)+1),
+# priced virtual time, and the perfmodel closed-form prediction per row.
+go run ./cmd/popbench -sstep
+
+echo "bench.sh: wrote BENCH_sstep.json"

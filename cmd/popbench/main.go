@@ -7,6 +7,7 @@
 //	popbench -serve                                # solve-service load test
 //	popbench -chaos                                # per-fault-class resilience loop
 //	popbench -fleet                                # fleet router vs single service
+//	popbench -sstep                                # s-step reduction-crossover sweep
 //	popbench -list                                 # available experiment ids
 //
 // Full-scale 0.1° sweeps execute millions of real solver iterations across
@@ -51,6 +52,7 @@ func main() {
 		fleetCli  = flag.Int("fleetclients", 8, "closed-loop client count for -fleet")
 		fleetWk   = flag.Int("fleetworkers", 4, "worker-shard count for -fleet")
 		fleetRHS  = flag.Int("fleetrhs", 16, "distinct right-hand sides the -fleet workload cycles through")
+		sstepRun  = flag.Bool("sstep", false, "sweep the s-step solver's reduction-count crossover, write BENCH_sstep.json")
 	)
 	flag.Parse()
 	obs.ServePprof(*pprofAddr)
@@ -68,6 +70,13 @@ func main() {
 	}
 	if *chaos {
 		if err := runChaosBench(*reportDir, *chaosSec, *chaosCli, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sstepRun {
+		if err := runSStepBench(*reportDir, *machine, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "popbench: %v\n", err)
 			os.Exit(1)
 		}

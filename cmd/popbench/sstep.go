@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/perfmodel"
+)
+
+// sstepReport is the machine-readable result of `popbench -sstep`, written
+// as BENCH_sstep.json: the reduction-count crossover sweep of the
+// communication-avoiding s-step solver against ChronGear and P-CSI at the
+// same tolerance, with the perfmodel closed-form prediction alongside each
+// measured virtual time. BoundOK asserts the solver's contract: every
+// s-step row performed at most ceil(iters/s)+1 global reductions.
+type sstepReport struct {
+	Name      string               `json:"name"`
+	Timestamp string               `json:"timestamp"`
+	Hardware  experiments.Hardware `json:"hardware"`
+	Machine   string               `json:"machine"`
+	Grid      string               `json:"grid"`
+	Precond   string               `json:"precond"`
+	Cores     int                  `json:"cores"`
+	Tol       float64              `json:"tol"`
+	Rows      []sstepRow           `json:"rows"`
+	BoundOK   bool                 `json:"reduction_bound_ok"`
+}
+
+// sstepRow is one solver configuration in the sweep.
+type sstepRow struct {
+	Method            string  `json:"method"`
+	SStep             int     `json:"sstep,omitempty"`
+	Iterations        int     `json:"iterations"`
+	Converged         bool    `json:"converged"`
+	RelResidual       float64 `json:"rel_residual"`
+	ReductionsPerRank int64   `json:"reductions_per_rank"`
+	ReductionBound    int64   `json:"reduction_bound,omitempty"`
+	VirtualSec        float64 `json:"virtual_sec"`
+	PredictedSec      float64 `json:"predicted_sec"`
+	WallSec           float64 `json:"wall_sec"`
+}
+
+// runSStepBench sweeps s ∈ {1,2,4,8} against the per-iteration solvers on
+// the priced virtual machine, verifying the reduction bound from the
+// communicator's own counters and recording measured-vs-predicted times.
+func runSStepBench(dir, machineName string, out io.Writer) error {
+	const (
+		gridName = "test"
+		cores    = 16
+		tol      = 1e-12
+	)
+	m, err := perfmodel.ByName(machineName)
+	if err != nil || m == nil {
+		return fmt.Errorf("popbench -sstep needs a priced machine model, got %q (%v)", machineName, err)
+	}
+	g, err := pop.NewGrid(gridName)
+	if err != nil {
+		return err
+	}
+	rhs := benchRHS(g)
+	n2 := float64(g.Nx * g.Ny)
+
+	type cfg struct {
+		method pop.Method
+		sstep  int
+	}
+	cfgs := []cfg{
+		{pop.MethodChronGear, 0},
+		{pop.MethodPCSI, 0},
+		{pop.MethodSStep, 1},
+		{pop.MethodSStep, 2},
+		{pop.MethodSStep, 4},
+		{pop.MethodSStep, 8},
+	}
+
+	rep := sstepReport{
+		Name:      "sstep",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Hardware:  experiments.DetectHardware(0),
+		Machine:   m.Name,
+		Grid:      gridName,
+		Precond:   pop.PrecondEVP.String(),
+		Cores:     cores,
+		Tol:       tol,
+		BoundOK:   true,
+	}
+	fmt.Fprintf(out, "# sstep: %s grid, %d virtual cores, evp, tol %.0e, machine %s\n",
+		gridName, cores, tol, m.Name)
+
+	for _, c := range cfgs {
+		solver, err := pop.NewSolver(g, pop.SolverSpec{
+			Method: c.method, Precond: pop.PrecondEVP, Cores: cores,
+			MachineName: m.Name,
+			Options:     pop.SolverOptions{Tol: tol, SStep: c.sstep},
+		})
+		if err != nil {
+			return err
+		}
+		// Estimate the spectrum outside the timed solve so its reductions
+		// land in EigenStats, not the solve's counters.
+		if _, _, _, err := solver.EstimateEigenvalues(rhs, 0); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		res, _, err := solver.Solve(rhs, nil)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0).Seconds()
+		nrank := int64(len(res.Stats.PerRank))
+		perRank := res.Stats.Sum.Reductions / nrank
+		row := sstepRow{
+			Method:            c.method.String(),
+			SStep:             c.sstep,
+			Iterations:        res.Iterations,
+			Converged:         res.Converged,
+			RelResidual:       res.RelResidual,
+			ReductionsPerRank: perRank,
+			VirtualSec:        res.Stats.MaxClock,
+			WallSec:           wall,
+		}
+		k := float64(res.Iterations)
+		switch c.method {
+		case pop.MethodChronGear:
+			row.PredictedSec = perfmodel.EqChronGearEVP(m, n2, cores, k)
+		case pop.MethodPCSI:
+			row.PredictedSec = perfmodel.EqPCSIEVP(m, n2, cores, k)
+		case pop.MethodSStep:
+			row.PredictedSec = perfmodel.EqSStepEVP(m, n2, cores, k, c.sstep)
+			row.ReductionBound = int64((res.Iterations+c.sstep-1)/c.sstep) + 1
+			if !res.Converged || perRank > row.ReductionBound {
+				rep.BoundOK = false
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+		label := row.Method
+		if c.sstep > 0 {
+			label = fmt.Sprintf("%s s=%d", row.Method, c.sstep)
+		}
+		fmt.Fprintf(out, "# sstep: %-12s iters=%-4d reductions/rank=%-4d virtual=%.4gs predicted=%.4gs wall=%.3gs\n",
+			label, row.Iterations, perRank, row.VirtualSec, row.PredictedSec, wall)
+	}
+
+	path := filepath.Join(dir, "BENCH_sstep.json")
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# sstep: report %s\n", path)
+	if !rep.BoundOK {
+		return fmt.Errorf("sstep: a sweep row broke the ceil(iters/s)+1 reduction bound (see %s)", path)
+	}
+	return nil
+}

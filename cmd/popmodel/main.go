@@ -21,8 +21,9 @@ func main() {
 		gridName   = flag.String("grid", "test", "grid preset: test, 1deg, 0.1deg-scaled")
 		days       = flag.Float64("days", 10, "simulated days")
 		dt         = flag.Float64("dt", 2400, "time step (s)")
-		solver     = flag.String("solver", "chrongear", "barotropic solver: chrongear, pcg, pcsi")
+		solver     = flag.String("solver", "chrongear", "barotropic solver: chrongear, pcg, pcsi, sstep")
 		precond    = flag.String("precond", "diagonal", "preconditioner: diagonal, evp, none, blocklu")
+		sstep      = flag.Int("sstep", 0, "s-step block size for -solver sstep (0 = default 4)")
 		every      = flag.Float64("report", 1, "report interval (days)")
 		threads    = flag.Int("threads", 0, "worker shards: max virtual ranks running concurrently (0 = GOMAXPROCS)")
 		traceOut   = flag.String("trace", "", "write JSONL span/event trace to this file")
@@ -42,7 +43,7 @@ func main() {
 		Grid:       g,
 		Dt:         *dt,
 		Solver:     model.SolverName(*solver),
-		SolverOpts: core.Options{Precond: pc},
+		SolverOpts: core.Options{Precond: pc, SStep: *sstep},
 		Threads:    *threads,
 	})
 	fatalIf(err)

@@ -88,6 +88,7 @@ func (h *handler) solveJSON(w http.ResponseWriter, r *http.Request, body []byte)
 		Method:    can.Method,
 		Precond:   can.Precond,
 		Precision: can.Precision,
+		SStep:     can.SStep,
 		B:         b,
 		X0:        can.X0,
 	}
@@ -111,6 +112,7 @@ func (h *handler) solveFrame(w http.ResponseWriter, r *http.Request, body []byte
 		Method:    freq.Method,
 		Precond:   freq.Precond,
 		Precision: freq.Precision,
+		SStep:     freq.SStep,
 		B:         freq.B,
 		X0:        freq.X0,
 	}

@@ -86,11 +86,12 @@ func main() {
 		probeMeth  = flag.String("method", "chrongear", "probe mode: solver method")
 		probePrec  = flag.String("precond", "diagonal", "probe mode: preconditioner")
 		probeFloat = flag.String("precision", "", "probe mode: iteration arithmetic")
+		probeSStep = flag.Int("sstep", 0, "probe mode: s-step block size for -method sstep (0 = server default)")
 	)
 	flag.Parse()
 
 	if *probe != "" {
-		os.Exit(runProbe(*probe, *frame, *probeGrid, *probeMeth, *probePrec, *probeFloat))
+		os.Exit(runProbe(*probe, *frame, *probeGrid, *probeMeth, *probePrec, *probeFloat, *probeSStep))
 	}
 
 	obs.ServePprof(*pprofAddr)

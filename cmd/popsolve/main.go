@@ -22,11 +22,12 @@ import (
 func main() {
 	var (
 		gridName   = flag.String("grid", "test", "grid preset: test, 1deg, 0.1deg, 0.1deg-scaled")
-		method     = flag.String("method", "chrongear", "solver: chrongear, pcg, pcsi, csi")
+		method     = flag.String("method", "chrongear", "solver: chrongear, pcg, pipecg, pcsi, csi, sstep")
 		precond    = flag.String("precond", "diagonal", "preconditioner: diagonal, evp, blocklu, none")
 		cores      = flag.Int("cores", 0, "virtual core count (0 = single rank)")
 		threads    = flag.Int("threads", 0, "worker shards: max virtual ranks running concurrently (0 = GOMAXPROCS)")
 		precision  = flag.String("precision", "float64", "iteration arithmetic: float64, float32 (mixed-precision iterative refinement)")
+		sstep      = flag.Int("sstep", 0, "s-step block size for -method sstep (0 = default 4; matvecs per global reduction)")
 		machine    = flag.String("machine", "yellowstone", "machine model: yellowstone, edison, ideal, or empty")
 		tol        = flag.Float64("tol", 1e-13, "relative convergence tolerance")
 		tau        = flag.Float64("tau", 1920, "barotropic time step (s)")
@@ -50,7 +51,7 @@ func main() {
 	solver, err := pop.NewSolver(g, pop.SolverSpec{
 		Method: m, Precond: pc, Cores: *cores, Threads: *threads,
 		MachineName: *machine, Tau: *tau,
-		Options: pop.SolverOptions{Tol: *tol, Precision: prec},
+		Options: pop.SolverOptions{Tol: *tol, Precision: prec, SStep: *sstep},
 	})
 	fatalIf(err)
 	fmt.Printf("solver %s+%s on %d virtual cores (%d worker shards, %s)\n",

@@ -17,7 +17,7 @@ import (
 var docPackages = []string{
 	".", "internal/serve", "internal/faults", "internal/obs",
 	"internal/analysis", "internal/analysis/analyzertest",
-	"internal/api", "internal/fleet",
+	"internal/api", "internal/fleet", "internal/core",
 }
 
 // TestPublicSurfaceDocumented fails on any exported identifier in the public

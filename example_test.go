@@ -59,6 +59,41 @@ func ExampleNewSolver() {
 	// solution length matches grid: true
 }
 
+// Communication avoidance: the s-step solver batches s matrix-vector
+// products between global reductions, so a converged solve issues at most
+// ceil(iterations/s)+1 reductions instead of one (or more) per iteration.
+// SStep: 0 accepts the default block size (4); raise it when reduction
+// latency dominates the iteration time.
+func Example_sstep() {
+	g, err := pop.NewGrid(pop.GridTest)
+	if err != nil {
+		fmt.Println("grid:", err)
+		return
+	}
+	s, err := pop.NewSolver(g, pop.SolverSpec{
+		Method:  pop.MethodSStep,
+		Precond: pop.PrecondEVP,
+		Cores:   4,
+		Options: pop.SolverOptions{SStep: 4},
+	})
+	if err != nil {
+		fmt.Println("solver:", err)
+		return
+	}
+	res, _, err := s.Solve(exampleRHS(g), nil)
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	bound := int64((res.Iterations+3)/4) + 1
+	perRank := res.Stats.Sum.Reductions / int64(len(res.Stats.PerRank))
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("reductions within ceil(iters/s)+1:", perRank <= bound)
+	// Output:
+	// converged: true
+	// reductions within ceil(iters/s)+1: true
+}
+
 // Serving pool: a Service owns warmed-up sessions per (grid, method,
 // preconditioner) and is safe to call from any number of goroutines.
 func ExampleNewService() {

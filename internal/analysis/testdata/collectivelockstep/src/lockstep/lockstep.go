@@ -71,6 +71,29 @@ func reduceHelper(r *comm.Rank, payload []float64) ([]float64, bool) {
 	return g, g[0] > 0
 }
 
+// goodGramRestart mirrors the s-step solver's restart decision: the block
+// Gram system comes back from one reduction, so a pivot-failure verdict
+// computed from it is identical on every rank and may gate the next
+// block's collectives.
+func goodGramRestart(r *comm.Rank, gram []float64, fields [][]float64) {
+	g := r.AllReduce(gram)
+	restart := g[0] <= 0 // reduced Gram pivot: lockstep on every rank
+	if restart {
+		r.Exchange(fields)
+	}
+	_ = g
+}
+
+// badGramRestart is the broken variant: deriving the pivot guard from the
+// rank's own clock makes the restart decision rank-local, so ranks would
+// disagree about whether the Exchange happens.
+func badGramRestart(r *comm.Rank, gram []float64, fields [][]float64) {
+	g := r.AllReduce(gram)
+	if g[0] <= r.Clock() { // rank-local clock poisons the verdict
+		r.Exchange(fields) // want `guarded by rank-local condition`
+	}
+}
+
 func goodFixedBound(r *comm.Rank, payload []float64, iters int) {
 	for k := 0; k < iters; k++ { // caller-shared bound
 		_ = r.AllReduce(payload)

@@ -71,6 +71,10 @@ type SolveRequest struct {
 	// Precision names the iteration arithmetic ("" = "float64"); see
 	// AcceptedPrecisions.
 	Precision string `json:"precision,omitempty"`
+	// SStep is the communication-avoiding block size for the "sstep"
+	// method (0 = server default of 4; valid 1..16). Ignored for other
+	// methods.
+	SStep int `json:"sstep,omitempty"`
 	// B is the explicit right-hand side (length = grid N); mutually
 	// exclusive with RHS.
 	B []float64 `json:"b,omitempty"`

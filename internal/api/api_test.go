@@ -47,6 +47,8 @@ func TestParseBadEnumListsAccepted(t *testing.T) {
 		{SolveRequest{Method: "gmres"}, "method", acceptedMethods},
 		{SolveRequest{Precond: "ilu"}, "precond", acceptedPreconds},
 		{SolveRequest{Precision: "fp16"}, "precision", acceptedPrecisions},
+		{SolveRequest{SStep: core.MaxSStep + 1}, "sstep", acceptedSSteps},
+		{SolveRequest{SStep: -1}, "sstep", acceptedSSteps},
 	}
 	for _, tc := range cases {
 		_, err := tc.req.Parse()
@@ -87,6 +89,7 @@ func TestFrameRequestRoundTrip(t *testing.T) {
 		Method:    core.MethodPCSI,
 		Precond:   core.PrecondEVP,
 		Precision: core.Float32,
+		SStep:     8,
 		B:         []float64{1.5, -2.25, math.Pi, 0, math.Copysign(0, -1)},
 		X0:        []float64{0.5, 0.25, 0, 1, 2},
 		TimeoutMS: 1234,
@@ -119,6 +122,38 @@ func TestFrameRequestRoundTrip(t *testing.T) {
 	}
 	if out.X0 != nil {
 		t.Fatalf("X0 = %v, want nil", out.X0)
+	}
+}
+
+// TestFrameRequestV1Compat: a v1 request frame (no sstep byte) must still
+// decode, with SStep defaulting to 0, so routers and workers can roll
+// independently across the v1→v2 boundary.
+func TestFrameRequestV1Compat(t *testing.T) {
+	in := FrameRequest{
+		Grid:      "test",
+		Method:    core.MethodPCSI,
+		Precond:   core.PrecondEVP,
+		Precision: core.Float64,
+		B:         []float64{1, 2, 3},
+		TimeoutMS: 50,
+		ReturnX:   true,
+		TraceID:   7,
+	}
+	v2 := AppendFrameRequest(nil, in)
+	// Rebuild the v1 layout by hand: same bytes minus the sstep byte at
+	// offset 9 (header 6 + method + precond + precision), version byte 1.
+	v1 := append([]byte(nil), v2[:9]...)
+	v1 = append(v1, v2[10:]...)
+	v1[4] = frameVersionV1
+	out, err := DecodeFrameRequest(v1)
+	if err != nil {
+		t.Fatalf("decode v1: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("v1 round trip mismatch:\n in %+v\nout %+v", in, out)
+	}
+	if out.SStep != 0 {
+		t.Fatalf("v1 frame decoded SStep %d, want 0", out.SStep)
 	}
 }
 
@@ -205,19 +240,21 @@ func TestFrameRejectsDamage(t *testing.T) {
 
 func TestHashSolveDeterminismAndSensitivity(t *testing.T) {
 	b := []float64{1, 2, 3}
-	base := HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, b, nil)
-	if base != HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, []float64{1, 2, 3}, nil) {
+	base := HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, b, nil)
+	if base != HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, []float64{1, 2, 3}, nil) {
 		t.Fatalf("hash not deterministic")
 	}
 
 	variants := []CacheKey{
-		HashSolve("small", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, b, nil),
-		HashSolve("test", core.MethodPCG, core.PrecondEVP, core.Float64, 1e-13, b, nil),
-		HashSolve("test", core.MethodPCSI, core.PrecondDiagonal, core.Float64, 1e-13, b, nil),
-		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float32, 1e-13, b, nil),
-		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-10, b, nil),
-		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, []float64{1, 2, 4}, nil),
-		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, b, []float64{0, 0, 1}),
+		HashSolve("small", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, b, nil),
+		HashSolve("test", core.MethodPCG, core.PrecondEVP, core.Float64, 0, 1e-13, b, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondDiagonal, core.Float64, 0, 1e-13, b, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float32, 0, 1e-13, b, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-10, b, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, []float64{1, 2, 4}, nil),
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, b, []float64{0, 0, 1}),
+		HashSolve("test", core.MethodSStep, core.PrecondEVP, core.Float64, 4, 1e-13, b, nil),
+		HashSolve("test", core.MethodSStep, core.PrecondEVP, core.Float64, 8, 1e-13, b, nil),
 	}
 	seen := map[CacheKey]bool{base: true}
 	for i, v := range variants {
@@ -229,13 +266,13 @@ func TestHashSolveDeterminismAndSensitivity(t *testing.T) {
 
 	// Last-ulp and sign-of-zero differences must produce distinct keys.
 	ulp := []float64{1, 2, math.Nextafter(3, 4)}
-	if HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, ulp, nil) == base {
+	if HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, ulp, nil) == base {
 		t.Fatalf("ulp difference not reflected in key")
 	}
 	negz := []float64{1, 2, math.Copysign(0, -1)}
 	posz := []float64{1, 2, 0}
-	if HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, negz, nil) ==
-		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, posz, nil) {
+	if HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, negz, nil) ==
+		HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, posz, nil) {
 		t.Fatalf("-0 and +0 conflated")
 	}
 }

@@ -13,15 +13,17 @@ import (
 //
 //	offset size field
 //	0      4    magic "POPF"
-//	4      1    version (currently 1)
+//	4      1    version (currently 2; v1 frames still decode)
 //	5      1    kind (FrameSolveRequest | FrameSolveResponse | FrameError)
 //	6      …    kind-specific payload
 //
 // Solve-request payload:
 //
-//	u8 method, u8 precond, u8 precision, u8 flags (bit0 return_x,
-//	bit1 has_x0, bit2 no_cache), u32 timeout_ms, u64 trace_id,
-//	u16 len(grid) + grid bytes, u32 len(b) + b as raw float64,
+//	u8 method, u8 precond, u8 precision, u8 sstep (v2+ only; v1 frames
+//	omit the byte and decode as sstep 0 = default), u8 flags
+//	(bit0 return_x, bit1 has_x0, bit2 no_cache), u32 timeout_ms,
+//	u64 trace_id, u16 len(grid) + grid bytes,
+//	u32 len(b) + b as raw float64,
 //	[if has_x0] u32 len(x0) + x0 as raw float64
 //
 // Solve-response payload:
@@ -45,8 +47,15 @@ import (
 // FrameMagic is the 4-byte frame preamble.
 const FrameMagic = "POPF"
 
-// FrameVersion is the current frame schema version.
-const FrameVersion = 1
+// FrameVersion is the current frame schema version, written by every
+// encoder. Version 2 added the u8 sstep byte to the solve-request
+// payload; response and error payloads are unchanged from v1.
+const FrameVersion = 2
+
+// frameVersionV1 is the pre-sstep schema. Decoders still accept it (a v1
+// request decodes with SStep 0 = server default) so a fleet can roll
+// routers and workers independently.
+const frameVersionV1 = 1
 
 // Frame kinds (byte 5).
 const (
@@ -98,6 +107,8 @@ type FrameRequest struct {
 	NoCache bool
 	// TraceID is the request-scoped trace ID (0 = assign fresh).
 	TraceID uint64
+	// SStep is the s-step block size for Method sstep (0 = default).
+	SStep int
 }
 
 // AppendFrameRequest appends the frame encoding of r to dst and returns
@@ -114,7 +125,7 @@ func AppendFrameRequest(dst []byte, r FrameRequest) []byte {
 	if r.NoCache {
 		flags |= 1 << 2
 	}
-	dst = append(dst, byte(r.Method), byte(r.Precond), byte(r.Precision), flags)
+	dst = append(dst, byte(r.Method), byte(r.Precond), byte(r.Precision), byte(r.SStep), flags)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(r.TimeoutMS))
 	dst = binary.LittleEndian.AppendUint64(dst, r.TraceID)
 	dst = appendString16(dst, r.Grid)
@@ -134,7 +145,12 @@ func DecodeFrameRequest(raw []byte) (FrameRequest, error) {
 		return FrameRequest{}, err
 	}
 	var r FrameRequest
-	m, pc, pr, flags := p.byte(), p.byte(), p.byte(), p.byte()
+	m, pc, pr := p.byte(), p.byte(), p.byte()
+	var sstep byte
+	if p.ver >= 2 {
+		sstep = p.byte()
+	}
+	flags := p.byte()
 	r.TimeoutMS = int(p.uint32())
 	r.TraceID = p.uint64()
 	r.Grid = p.string16()
@@ -157,6 +173,10 @@ func DecodeFrameRequest(raw []byte) (FrameRequest, error) {
 	if !r.Precision.Valid() {
 		return FrameRequest{}, &FieldError{Field: "precision", Value: fmt.Sprintf("%d", pr), Accepted: acceptedPrecisions}
 	}
+	if int(sstep) > core.MaxSStep {
+		return FrameRequest{}, &FieldError{Field: "sstep", Value: fmt.Sprintf("%d", sstep), Accepted: acceptedSSteps}
+	}
+	r.SStep = int(sstep)
 	r.ReturnX = flags&(1<<0) != 0
 	r.NoCache = flags&(1<<2) != 0
 	return r, nil
@@ -255,7 +275,7 @@ func FrameKind(raw []byte) (int, error) {
 	if len(raw) < 6 || string(raw[:4]) != FrameMagic {
 		return 0, fmt.Errorf("bad magic or truncated header: %w", ErrBadFrame)
 	}
-	if raw[4] != FrameVersion {
+	if raw[4] != FrameVersion && raw[4] != frameVersionV1 {
 		return 0, fmt.Errorf("unknown frame version %d: %w", raw[4], ErrBadFrame)
 	}
 	return int(raw[5]), nil
@@ -293,6 +313,7 @@ func appendFloats(dst []byte, v []float64) []byte {
 type parser struct {
 	raw []byte
 	off int
+	ver byte
 	err error
 }
 
@@ -305,7 +326,7 @@ func newParser(raw []byte, wantKind byte) (*parser, error) {
 	if byte(kind) != wantKind {
 		return nil, fmt.Errorf("frame kind %d, want %d: %w", kind, wantKind, ErrBadFrame)
 	}
-	return &parser{raw: raw, off: 6}, nil
+	return &parser{raw: raw, off: 6, ver: raw[4]}, nil
 }
 
 // need reserves n bytes, recording a sticky ErrBadFrame on overrun.

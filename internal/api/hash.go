@@ -14,15 +14,17 @@ import (
 type CacheKey [sha256.Size]byte
 
 // HashSolve computes the cache key for one solve: grid preset, method,
-// preconditioner, precision, the effective tolerance, the RHS bits and
-// (when present) the initial-guess bits. Two requests share a key exactly
-// when a fault-free solve of one is bitwise substitutable for the other —
-// the deterministic-solver invariant the cache's replay guarantee rests
-// on. Float64 values are hashed by their IEEE bit patterns, so -0 ≠ +0
-// and equal-looking decimals that differ in the last ulp get distinct
-// keys: the cache never conflates solves the solver itself would
-// distinguish.
-func HashSolve(grid string, method core.Method, precond core.PrecondType, precision core.Precision, tol float64, b, x0 []float64) CacheKey {
+// preconditioner, precision, s-step block size, the effective tolerance,
+// the RHS bits and (when present) the initial-guess bits. Two requests
+// share a key exactly when a fault-free solve of one is bitwise
+// substitutable for the other — the deterministic-solver invariant the
+// cache's replay guarantee rests on. Float64 values are hashed by their
+// IEEE bit patterns, so -0 ≠ +0 and equal-looking decimals that differ in
+// the last ulp get distinct keys: the cache never conflates solves the
+// solver itself would distinguish. Callers pass the normalized sstep (the
+// serve layer's default-applied value, 0 for non-sstep methods) so the
+// same logical solve always hashes identically.
+func HashSolve(grid string, method core.Method, precond core.PrecondType, precision core.Precision, sstep int, tol float64, b, x0 []float64) CacheKey {
 	h := sha256.New()
 	var scratch [8]byte
 
@@ -43,11 +45,12 @@ func HashSolve(grid string, method core.Method, precond core.PrecondType, precis
 		}
 	}
 
-	writeStr("popfleet/v1") // domain separator, bumped on any layout change
+	writeStr("popfleet/v2") // domain separator, bumped on any layout change
 	writeStr(grid)
 	writeU64(uint64(method))
 	writeU64(uint64(precond))
 	writeU64(uint64(precision))
+	writeU64(uint64(sstep))
 	writeU64(math.Float64bits(tol))
 	writeVec(b)
 	writeVec(x0) // nil and empty both hash as length 0 = zero guess

@@ -10,9 +10,12 @@ import (
 // request tells the client how to fix itself. Order matches the parse
 // switch cases; the default spelling comes first.
 var (
-	acceptedMethods    = []string{"chrongear", "pcg", "pipecg", "pcsi", "csi"}
+	acceptedMethods    = []string{"chrongear", "pcg", "pipecg", "pcsi", "csi", "sstep"}
 	acceptedPreconds   = []string{"diagonal", "evp", "blocklu", "none"}
 	acceptedPrecisions = []string{"float64", "fp64", "double", "float32", "fp32", "single"}
+	// acceptedSSteps documents the numeric range for the 400 body (the
+	// field is an int, not an enum, so these are range descriptions).
+	acceptedSSteps = []string{"0 (default)", "1..16"}
 )
 
 // AcceptedMethods lists the method names ParseMethod accepts ("" defaults
@@ -71,6 +74,8 @@ type Canonical struct {
 	Precond core.PrecondType
 	// Precision is the parsed iteration arithmetic.
 	Precision core.Precision
+	// SStep is the validated s-step block size (0 = downstream default).
+	SStep int
 	// B is the explicit right-hand side (nil when RHS named a generator
 	// still to be resolved by the server).
 	B []float64
@@ -102,6 +107,9 @@ func (r *SolveRequest) Parse() (Canonical, error) {
 	if err != nil {
 		return Canonical{}, &FieldError{Field: "precision", Value: r.Precision, Accepted: acceptedPrecisions}
 	}
+	if r.SStep < 0 || r.SStep > core.MaxSStep {
+		return Canonical{}, &FieldError{Field: "sstep", Value: fmt.Sprintf("%d", r.SStep), Accepted: acceptedSSteps}
+	}
 	if r.RHS != "" && len(r.B) > 0 {
 		return Canonical{}, fmt.Errorf(`api: "b" and "rhs" are mutually exclusive: %w`, core.ErrBadSpec)
 	}
@@ -110,6 +118,7 @@ func (r *SolveRequest) Parse() (Canonical, error) {
 		Method:    method,
 		Precond:   precond,
 		Precision: precision,
+		SStep:     r.SStep,
 		B:         r.B,
 		X0:        r.X0,
 		ReturnX:   r.ReturnX,

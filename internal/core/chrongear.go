@@ -74,14 +74,7 @@ func (s *Session) SolveChronGearContext(ctx context.Context, b, x0 []float64) (R
 		payload := make([]float64, 5)
 
 		// r₀ = b − B·x₀ (halos valid from scatter) and ‖b‖².
-		var bn2 float64
-		for i := 0; i < nb; i++ {
-			residual(rs.locs[i], rr[i], bs[i], xs[i])
-			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
-			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
-			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
-		}
-		payload[0] = bn2
+		payload[0] = stageInitResidual(r, rs, rr, bs, xs)
 		var bnorm float64
 		if resilient {
 			g, nret, ok := reduceRetry(r, inj, payload[:1])
@@ -104,12 +97,7 @@ func (s *Session) SolveChronGearContext(ctx context.Context, b, x0 []float64) (R
 		}
 		if bnorm == 0 {
 			// x = 0 solves the masked system exactly.
-			for i, blk := range r.Blocks {
-				for k := range xs[i] {
-					xs[i][k] = 0
-				}
-				s.D.GatherInto(out, xs[i], blk)
-			}
+			s.zeroSolutionExit(r, out, xs)
 			if r.ID == 0 {
 				res.Converged = true
 			}
@@ -132,28 +120,15 @@ func (s *Session) SolveChronGearContext(ctx context.Context, b, x0 []float64) (R
 		for k < o.MaxIters {
 			k++
 			check := k%o.CheckEvery == 0
-			var rhoL, deltaL, rnL float64
-			for i := 0; i < nb; i++ {
-				loc := rs.locs[i]
-				n := int64(loc.InteriorLen())
-				rs.pre[i].Apply(rp[i], rr[i]) // r' = M⁻¹r
-				r.AddFlops(rs.pre[i].ApplyFlops())
-				if check {
-					rnL += loc.MaskedDotInterior(rr[i], rr[i])
-					r.AddFlops(2 * n)
-				}
+			stagePrecond(r, rs, rp, rr) // r' = M⁻¹r
+			var rnL float64
+			if check {
+				rnL = stageDot(r, rs, rr, rr)
 			}
-			r.Exchange(rp) // one boundary update per iteration
-			for i := 0; i < nb; i++ {
-				loc := rs.locs[i]
-				n := int64(loc.InteriorLen())
-				// z = B·r' fused with δ += ⟨z, r'⟩: one pass over the
-				// operands instead of a matvec followed by a dot.
-				deltaL += loc.ApplyAndMaskedDot(zz[i], rp[i])
-				r.AddFlops(9 * n)
-				rhoL += loc.MaskedDotInterior(rr[i], rp[i])
-				r.AddFlops(4 * n)
-			}
+			// z = B·r' fused with δ = ⟨z, r'⟩ — one pass over the operands,
+			// with the iteration's one boundary update inside — then ρ = ⟨r, r'⟩.
+			deltaL := stageFusedMatvecDot(r, rs, zz, rp)
+			rhoL := stageDot(r, rs, rr, rp)
 			payload[0], payload[1] = rhoL, deltaL
 			p := payload[:2]
 			crashed := false
@@ -353,9 +328,7 @@ func (s *Session) SolveChronGearContext(ctx context.Context, b, x0 []float64) (R
 			res.Iterations = k
 			res.Converged = converged
 		}
-		for i, blk := range r.Blocks {
-			s.D.GatherInto(out, xs[i], blk)
-		}
+		s.gatherSolution(r, out, xs)
 	})
 	res.Stats = st
 	res.Trace = trace

@@ -99,6 +99,7 @@ var allSolvers = map[string]solveFunc{
 	"chrongear": (*Session).SolveChronGear,
 	"pcg":       (*Session).SolvePCG,
 	"pcsi":      (*Session).SolvePCSI,
+	"sstep":     (*Session).SolveSStep,
 }
 
 func TestSolversMatchDenseReference(t *testing.T) {
@@ -109,12 +110,14 @@ func TestSolversMatchDenseReference(t *testing.T) {
 	x0 := make([]float64, f.g.N())
 	for name, solve := range allSolvers {
 		for _, pc := range []PrecondType{PrecondIdentity, PrecondDiagonal, PrecondEVP, PrecondBlockLU} {
-			if name == "pcsi" && pc == PrecondIdentity {
+			if (name == "pcsi" || name == "sstep") && pc == PrecondIdentity {
 				// Plain CSI on the raw operator is impractical: the
 				// unpreconditioned spectrum's lower edge is clustered and
 				// Lanczos cannot bracket it in few steps (this is why Hu
 				// 2013 and the paper always pair CSI with at least
-				// diagonal scaling). Covered by its own test below.
+				// diagonal scaling). Covered by its own test below. The
+				// s-step Chebyshev basis leans on the same Lanczos interval
+				// and inherits the restriction.
 				continue
 			}
 			s := f.session(t, Options{Precond: pc, Tol: 1e-12})
@@ -282,9 +285,9 @@ func TestZeroRHS(t *testing.T) {
 	zero := make([]float64, f.g.N())
 	for name, solve := range allSolvers {
 		s := f.session(t, Options{Precond: PrecondDiagonal})
-		if name == "pcsi" {
-			// P-CSI needs eigenvalue bounds, which cannot come from a zero
-			// RHS — estimate from a nonzero vector first.
+		if name == "pcsi" || name == "sstep" {
+			// P-CSI and s-step need eigenvalue bounds, which cannot come
+			// from a zero RHS — estimate from a nonzero vector first.
 			if _, _, _, err := s.EstimateEigenvalues(f.b, 0); err != nil {
 				t.Fatal(err)
 			}

@@ -47,6 +47,7 @@ type NotConvergedError struct {
 	RelResidual float64 // ‖r‖/‖b‖ at the last convergence check
 }
 
+// Error renders the non-convergence diagnostic.
 func (e *NotConvergedError) Error() string {
 	return fmt.Sprintf("core: %s did not converge after %d iterations (relative residual %.3g)",
 		e.Solver, e.Iterations, e.RelResidual)
@@ -65,6 +66,7 @@ type FaultedError struct {
 	ReduceRetries int    // failed-reduction retries performed
 }
 
+// Error renders the fault-surrender diagnostic.
 func (e *FaultedError) Error() string {
 	return fmt.Sprintf("core: %s faulted beyond recovery at iteration %d (%d restores, %d reduce retries)",
 		e.Solver, e.Iterations, e.Restores, e.ReduceRetries)

@@ -31,6 +31,11 @@ const (
 	// NewSolver, the solve service) maps it to MethodPCSI plus
 	// PrecondIdentity; the Session dispatcher treats it as MethodPCSI.
 	MethodCSI
+	// MethodSStep is the communication-avoiding s-step PCG with a Chebyshev
+	// basis (sstep.go): Options.SStep matrix-vector products batched between
+	// single fused global reductions — at most ceil(iters/s)+1 reductions per
+	// converged solve. Float64 only.
+	MethodSStep
 )
 
 // String returns the name used in CLI flags and experiment tables.
@@ -46,6 +51,8 @@ func (m Method) String() string {
 		return "pcsi"
 	case MethodCSI:
 		return "csi"
+	case MethodSStep:
+		return "sstep"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -53,12 +60,12 @@ func (m Method) String() string {
 
 // Valid reports whether m is one of the defined solver methods.
 func (m Method) Valid() bool {
-	return m >= MethodChronGear && m <= MethodCSI
+	return m >= MethodChronGear && m <= MethodSStep
 }
 
 // ParseMethod maps a method name ("chrongear", "pcg", "pipecg", "pcsi",
-// "csi"; "" selects the ChronGear default) onto its enum value. Unknown
-// names return an error matching errors.Is(err, ErrBadSpec).
+// "csi", "sstep"; "" selects the ChronGear default) onto its enum value.
+// Unknown names return an error matching errors.Is(err, ErrBadSpec).
 func ParseMethod(s string) (Method, error) {
 	switch s {
 	case "", "chrongear":
@@ -71,6 +78,8 @@ func ParseMethod(s string) (Method, error) {
 		return MethodPCSI, nil
 	case "csi":
 		return MethodCSI, nil
+	case "sstep":
+		return MethodSStep, nil
 	default:
 		return 0, fmt.Errorf("core: unknown method %q: %w", s, ErrBadSpec)
 	}
@@ -130,6 +139,12 @@ func (s *Session) SolveContext(ctx context.Context, m Method, b, x0 []float64) (
 		if !m.Valid() {
 			return Result{}, nil, fmt.Errorf("core: unknown method %v: %w", m, ErrBadSpec)
 		}
+		if m == MethodSStep {
+			// The s-step solver's fused Gram reduction has no float32 inner
+			// variant; its value is reduction avoidance, which iterative
+			// refinement's outer float64 residuals would dilute anyway.
+			return Result{}, nil, fmt.Errorf("core: method sstep has no float32 path: %w", ErrBadSpec)
+		}
 		res, x, err = s.solveMixedContext(ctx, m, b, x0)
 		res.TraceID = s.W.TraceID()
 		return res, x, err
@@ -143,6 +158,8 @@ func (s *Session) SolveContext(ctx context.Context, m Method, b, x0 []float64) (
 		res, x, err = s.SolvePipeCGContext(ctx, b, x0)
 	case MethodPCSI, MethodCSI:
 		res, x, err = s.SolvePCSIContext(ctx, b, x0)
+	case MethodSStep:
+		res, x, err = s.SolveSStepContext(ctx, b, x0)
 	default:
 		return Result{}, nil, fmt.Errorf("core: unknown method %v: %w", m, ErrBadSpec)
 	}

@@ -50,25 +50,13 @@ func (s *Session) SolvePCGContext(ctx context.Context, b, x0 []float64) (Result,
 		// the residual norm and the cancellation flag.
 		payload := make([]float64, 3)
 
-		var bn2 float64
-		for i := 0; i < nb; i++ {
-			residual(rs.locs[i], rr[i], bs[i], xs[i])
-			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
-			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
-			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
-		}
-		payload[0] = bn2
+		payload[0] = stageInitResidual(r, rs, rr, bs, xs)
 		bnorm := math.Sqrt(r.AllReduce(payload[:1])[0])
 		if r.ID == 0 {
 			res.BNorm = bnorm
 		}
 		if bnorm == 0 {
-			for i, blk := range r.Blocks {
-				for k := range xs[i] {
-					xs[i][k] = 0
-				}
-				s.D.GatherInto(out, xs[i], blk)
-			}
+			s.zeroSolutionExit(r, out, xs)
 			if r.ID == 0 {
 				res.Converged = true
 			}
@@ -82,15 +70,8 @@ func (s *Session) SolvePCGContext(ctx context.Context, b, x0 []float64) (Result,
 		for k < o.MaxIters {
 			k++
 			check := k%o.CheckEvery == 0
-			var rhoL float64
-			for i := 0; i < nb; i++ {
-				loc := rs.locs[i]
-				rs.pre[i].Apply(rp[i], rr[i])
-				r.AddFlops(rs.pre[i].ApplyFlops())
-				rhoL += loc.MaskedDotInterior(rr[i], rp[i])
-				r.AddFlops(2 * int64(loc.InteriorLen()))
-			}
-			payload[0] = rhoL
+			stagePrecond(r, rs, rp, rr) // r' = M⁻¹r
+			payload[0] = stageDot(r, rs, rr, rp)
 			rho := r.AllReduce(payload[:1])[0] // reduction 1 of 2
 			if k == 1 {
 				for i := 0; i < nb; i++ {
@@ -104,18 +85,11 @@ func (s *Session) SolvePCGContext(ctx context.Context, b, x0 []float64) (Result,
 				}
 			}
 			rhoPrev = rho
-			r.Exchange(pp)
-			var deltaL, rnL float64
-			for i := 0; i < nb; i++ {
-				loc := rs.locs[i]
-				// z = B·p fused with δ += ⟨p, z⟩.
-				deltaL += loc.ApplyAndMaskedDot(zz[i], pp[i])
-				r.AddFlops(9 * int64(loc.InteriorLen()))
-				r.AddFlops(2 * int64(loc.InteriorLen()))
-				if check {
-					rnL += loc.MaskedDotInterior(rr[i], rr[i])
-					r.AddFlops(2 * int64(loc.InteriorLen()))
-				}
+			// z = B·p fused with δ = ⟨p, z⟩ (halo refresh inside).
+			deltaL := stageFusedMatvecDot(r, rs, zz, pp)
+			var rnL float64
+			if check {
+				rnL = stageDot(r, rs, rr, rr)
 			}
 			payload[0] = deltaL
 			p := payload[:1]
@@ -154,9 +128,7 @@ func (s *Session) SolvePCGContext(ctx context.Context, b, x0 []float64) (Result,
 			res.Iterations = k
 			res.Converged = converged
 		}
-		for i, blk := range r.Blocks {
-			s.D.GatherInto(out, xs[i], blk)
-		}
+		s.gatherSolution(r, out, xs)
 	})
 	res.Stats = st
 	res.Trace = trace

@@ -85,14 +85,7 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 		// the cancellation flag (and, in resilient mode, the crash flag).
 		payload := make([]float64, 3)
 
-		var bn2 float64
-		for i := 0; i < nb; i++ {
-			residual(rs.locs[i], rr[i], bs[i], xs[i])
-			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
-			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
-			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
-		}
-		payload[0] = bn2
+		payload[0] = stageInitResidual(r, rs, rr, bs, xs)
 		var bnorm float64
 		if resilient {
 			g, nret, ok := reduceRetry(r, inj, payload[:1])
@@ -113,12 +106,7 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 			res.BNorm = bnorm
 		}
 		if bnorm == 0 {
-			for i, blk := range r.Blocks {
-				for k := range xs[i] {
-					xs[i][k] = 0
-				}
-				s.D.GatherInto(out, xs[i], blk)
-			}
+			s.zeroSolutionExit(r, out, xs)
 			if r.ID == 0 {
 				res.Converged = true
 			}
@@ -179,12 +167,7 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 				r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
 			}
 			if k%o.CheckEvery == 0 {
-				var rnL float64
-				for i := 0; i < nb; i++ {
-					rnL += rs.locs[i].MaskedDotInterior(rr[i], rr[i])
-					r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
-				}
-				payload[0] = rnL
+				payload[0] = stageDot(r, rs, rr, rr)
 				payload[1] = cancelFlag(ctx)
 				var g []float64
 				crashed := false
@@ -389,9 +372,7 @@ func (s *Session) SolvePCSIContext(ctx context.Context, b, x0 []float64) (Result
 			res.Iterations = k
 			res.Converged = converged
 		}
-		for i, blk := range r.Blocks {
-			s.D.GatherInto(out, xs[i], blk)
-		}
+		s.gatherSolution(r, out, xs)
 	})
 	res.Stats = st
 	res.Trace = trace

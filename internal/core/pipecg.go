@@ -65,25 +65,13 @@ func (s *Session) SolvePipeCGContext(ctx context.Context, b, x0 []float64) (Resu
 		// the residual norm and the cancellation flag.
 		payload := make([]float64, 4)
 
-		var bn2 float64
-		for i := 0; i < nb; i++ {
-			residual(rs.locs[i], rr[i], bs[i], xs[i])
-			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
-			bn2 += rs.locs[i].MaskedDotInterior(bs[i], bs[i])
-			r.AddFlops(2 * int64(rs.locs[i].InteriorLen()))
-		}
-		payload[0] = bn2
+		payload[0] = stageInitResidual(r, rs, rr, bs, xs)
 		bnorm := math.Sqrt(r.AllReduce(payload[:1])[0])
 		if r.ID == 0 {
 			res.BNorm = bnorm
 		}
 		if bnorm == 0 {
-			for i, blk := range r.Blocks {
-				for k := range xs[i] {
-					xs[i][k] = 0
-				}
-				s.D.GatherInto(out, xs[i], blk)
-			}
+			s.zeroSolutionExit(r, out, xs)
 			if r.ID == 0 {
 				res.Converged = true
 			}
@@ -92,15 +80,8 @@ func (s *Session) SolvePipeCGContext(ctx context.Context, b, x0 []float64) (Resu
 		target := o.Tol * bnorm
 
 		// u₀ = M⁻¹r₀, w₀ = A·u₀.
-		for i := 0; i < nb; i++ {
-			rs.pre[i].Apply(uu[i], rr[i])
-			r.AddFlops(rs.pre[i].ApplyFlops())
-		}
-		r.Exchange(uu)
-		for i := 0; i < nb; i++ {
-			rs.locs[i].Apply(ww[i], uu[i])
-			r.AddFlops(9 * int64(rs.locs[i].InteriorLen()))
-		}
+		stagePrecond(r, rs, uu, rr)
+		stageMatvec(r, rs, ww, uu)
 
 		gammaPrev, alphaPrev := 0.0, 0.0
 		converged := false
@@ -189,9 +170,7 @@ func (s *Session) SolvePipeCGContext(ctx context.Context, b, x0 []float64) (Resu
 			res.Iterations = k
 			res.Converged = converged
 		}
-		for i, blk := range r.Blocks {
-			s.D.GatherInto(out, xs[i], blk)
-		}
+		s.gatherSolution(r, out, xs)
 	})
 	res.Stats = st
 	res.Trace = trace

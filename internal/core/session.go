@@ -14,6 +14,7 @@ import (
 // Options configures a solver Session. The zero value is completed by
 // DefaultOptions-style fallbacks in NewSession.
 type Options struct {
+	// Precond selects the preconditioner (default PrecondIdentity).
 	Precond PrecondType
 
 	// Precision selects the iteration arithmetic: Float64 (default, bitwise
@@ -44,6 +45,15 @@ type Options struct {
 	// CheckEvery is the convergence-check interval in iterations; the
 	// paper uses 10 for all solvers (§5.2).
 	CheckEvery int
+
+	// SStep is the communication-avoiding block size of the s-step solver
+	// (MethodSStep): s matrix-vector products are batched between global
+	// reductions, so a converged solve performs at most ceil(iters/s)+1
+	// reductions instead of ~iters. Ignored by every other method. Default
+	// 4; valid range 1..MaxSStep. Raising s trades reduction latency for
+	// O(s) extra flops per iteration and a worse-conditioned basis — see
+	// SOLVERS.md for the crossover guidance.
+	SStep int
 
 	// Lanczos (eigenvalue estimation) controls for P-CSI.
 	EigTol      float64 // relative change tolerance; paper: 0.15
@@ -81,6 +91,9 @@ func (o Options) withDefaults() Options {
 	if o.CheckEvery == 0 {
 		o.CheckEvery = 10
 	}
+	if o.SStep == 0 {
+		o.SStep = 4
+	}
 	if o.EigTol == 0 {
 		o.EigTol = 0.15
 	}
@@ -103,11 +116,11 @@ func (o Options) withDefaults() Options {
 // reusable distributed solver: local operators, preconditioners, and field
 // buffers persist across solves (as they do across time steps in POP).
 type Session struct {
-	G    *grid.Grid
-	Op   *stencil.Operator
-	D    *decomp.Decomposition
-	W    *comm.World
-	Opts Options
+	G    *grid.Grid            // grid the session solves on
+	Op   *stencil.Operator     // assembled barotropic operator
+	D    *decomp.Decomposition // block-to-rank ownership map
+	W    *comm.World           // virtual-rank communicator
+	Opts Options               // normalized options (defaults applied)
 
 	perRank []*rankState
 	ready   bool
@@ -117,8 +130,8 @@ type Session struct {
 
 	// Eigenvalue bounds for P-CSI, populated by EstimateEigenvalues.
 	Nu, Mu     float64
-	EigSteps   int
-	EigenStats *comm.Stats
+	EigSteps   int         // Lanczos steps the estimate took
+	EigenStats *comm.Stats // communication counters of the estimation run
 	// EigTrace is the per-step bound evolution of the last
 	// EstimateEigenvalues run (copied into P-CSI Result traces).
 	EigTrace []EigBound
@@ -196,6 +209,9 @@ func NewSession(g *grid.Grid, op *stencil.Operator, d *decomp.Decomposition, w *
 	}
 	if !o.Precision.Valid() {
 		return nil, fmt.Errorf("core: unknown precision %v: %w", o.Precision, ErrBadSpec)
+	}
+	if o.SStep < 1 || o.SStep > MaxSStep {
+		return nil, fmt.Errorf("core: s-step block size %d out of 1..%d: %w", o.SStep, MaxSStep, ErrBadSpec)
 	}
 	return &Session{G: g, Op: op, D: d, W: w, Opts: o,
 		perRank: make([]*rankState, d.NRanks)}, nil
@@ -384,13 +400,13 @@ func (s *Session) restoreLand(x, b []float64) {
 
 // Result summarizes one distributed solve.
 type Result struct {
-	Solver      string
-	Precond     PrecondType
-	Iterations  int
-	Converged   bool
-	RelResidual float64 // ‖r‖/‖b‖ at the last convergence check
-	BNorm       float64
-	Stats       comm.Stats
+	Solver      string      // method name ("chrongear", "pcsi", "sstep", ...)
+	Precond     PrecondType // preconditioner the solve used
+	Iterations  int         // iterations executed
+	Converged   bool        // whether the tolerance was met
+	RelResidual float64     // ‖r‖/‖b‖ at the last convergence check
+	BNorm       float64     // ‖b‖ over ocean points
+	Stats       comm.Stats  // per-rank communication/compute counters
 	// Precision is the iteration arithmetic the solve ran in.
 	Precision Precision
 	// OuterIters counts the iterative-refinement outer passes (0 for pure
@@ -399,7 +415,7 @@ type Result struct {
 	OuterIters int
 	// P-CSI extras.
 	Nu, Mu   float64
-	EigSteps int
+	EigSteps int // Lanczos steps behind the interval (0 = none run)
 	// Trace is the per-iteration telemetry (residual history at each
 	// convergence check; for P-CSI also the Lanczos bound evolution and
 	// interval-widening events). Always recorded — appends happen only at

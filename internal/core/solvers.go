@@ -86,6 +86,48 @@ func axpy(loc *stencil.Local, dst, x []float64, a float64) {
 	}
 }
 
+// chebBasisFirst computes dst = invDelta·(w − γ·v) on the interior — the
+// first Chebyshev basis step of the s-step solver, v₁ = T₁ of the mapped
+// operator applied to v₀ (charged as two vector operations).
+//
+//pop:hotpath
+func chebBasisFirst(loc *stencil.Local, dst, w, v []float64, gamma, invDelta float64) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dst[lo:][:n]
+		wr := w[lo:][:n]
+		vr := v[lo:][:n]
+		for i := range dr {
+			dr[i] = invDelta * (wr[i] - gamma*vr[i])
+		}
+	}
+}
+
+// chebBasisNext computes dst = twoInvDelta·(w − γ·v) − u on the interior —
+// the three-term Chebyshev recurrence vⱼ₊₁ = (2/δ)(M⁻¹A·vⱼ − γ·vⱼ) − vⱼ₋₁
+// that keeps the s-step basis well-conditioned (charged as three vector
+// operations).
+//
+//pop:hotpath
+func chebBasisNext(loc *stencil.Local, dst, w, v, u []float64, gamma, twoInvDelta float64) {
+	nx := loc.NxP
+	h := loc.H
+	for j := h; j < loc.NyP-h; j++ {
+		lo := j*nx + h
+		n := nx - 2*h
+		dr := dst[lo:][:n]
+		wr := w[lo:][:n]
+		vr := v[lo:][:n]
+		ur := u[lo:][:n]
+		for i := range dr {
+			dr[i] = twoInvDelta*(wr[i]-gamma*vr[i]) - ur[i]
+		}
+	}
+}
+
 // chebUpdate computes dx = ω·rp + c·dx on the interior (P-CSI line 7;
 // charged as two vector operations).
 //

@@ -16,27 +16,27 @@ import (
 // ResidualPoint is one convergence check: the relative residual ‖r‖/‖b‖
 // observed at iteration Iter, with rank 0's virtual clock at that moment.
 type ResidualPoint struct {
-	Iter        int     `json:"iter"`
-	RelResidual float64 `json:"rel_residual"`
-	Clock       float64 `json:"clock"`
+	Iter        int     `json:"iter"`         // iteration of the check
+	RelResidual float64 `json:"rel_residual"` // ‖r‖/‖b‖ observed there
+	Clock       float64 `json:"clock"`        // rank 0's virtual clock (s)
 }
 
 // EigBound is one Lanczos step's extreme Ritz-value estimate of the
 // spectrum of M⁻¹A.
 type EigBound struct {
-	Step int     `json:"step"`
-	Nu   float64 `json:"nu"`
-	Mu   float64 `json:"mu"`
+	Step int     `json:"step"` // Lanczos step number
+	Nu   float64 `json:"nu"`   // smallest Ritz value so far
+	Mu   float64 `json:"mu"`   // largest Ritz value so far
 }
 
 // IntervalEvent records one adaptive widening of P-CSI's Chebyshev
 // interval: Kind is "raise-mu" (divergence guard) or "widen-nu"
 // (slow-convergence guard); Nu and Mu are the interval after the change.
 type IntervalEvent struct {
-	Iter int     `json:"iter"`
-	Kind string  `json:"kind"`
-	Nu   float64 `json:"nu"`
-	Mu   float64 `json:"mu"`
+	Iter int     `json:"iter"` // iteration the guard fired at
+	Kind string  `json:"kind"` // "raise-mu" or "widen-nu"
+	Nu   float64 `json:"nu"`   // interval lower bound after the change
+	Mu   float64 `json:"mu"`   // interval upper bound after the change
 }
 
 // SolveTrace is the per-iteration telemetry of one solve.

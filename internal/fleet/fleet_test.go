@@ -218,7 +218,7 @@ func TestFleetNoCacheBypassesLookup(t *testing.T) {
 // deterministic collapse, meaningful under -race.
 func TestSingleflightCollapsesConcurrentIdentical(t *testing.T) {
 	g := newFlightGroup()
-	key := api.HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, []float64{1}, nil)
+	key := api.HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, []float64{1}, nil)
 
 	const followers = 8
 	leaderIn := make(chan struct{})  // closed when all followers are waiting
@@ -293,7 +293,7 @@ func TestSingleflightCollapsesConcurrentIdentical(t *testing.T) {
 // ends leaves the wait without cancelling the leader.
 func TestSingleflightFollowerContextAbandons(t *testing.T) {
 	g := newFlightGroup()
-	key := api.HashSolve("test", core.MethodPCG, core.PrecondDiagonal, core.Float64, 1e-13, []float64{2}, nil)
+	key := api.HashSolve("test", core.MethodPCG, core.PrecondDiagonal, core.Float64, 0, 1e-13, []float64{2}, nil)
 	block := make(chan struct{})
 	release := make(chan struct{})
 	go func() {
@@ -370,7 +370,7 @@ func TestCacheTTLDeterministic(t *testing.T) {
 	now := time.Unix(1000, 0)
 	clock := func() time.Time { return now }
 	c := newResultCache(8, time.Minute, clock)
-	key := api.HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, []float64{1}, nil)
+	key := api.HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, []float64{1}, nil)
 	c.put(key, core.Result{Iterations: 7}, []float64{1, 2})
 
 	if _, _, ok := c.get(key); !ok {
@@ -405,7 +405,7 @@ func TestCacheLRUDeterministic(t *testing.T) {
 	c := newResultCache(3, 0, func() time.Time { return time.Unix(0, 0) })
 	keys := make([]api.CacheKey, 4)
 	for i := range keys {
-		keys[i] = api.HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 1e-13, []float64{float64(i)}, nil)
+		keys[i] = api.HashSolve("test", core.MethodPCSI, core.PrecondEVP, core.Float64, 0, 1e-13, []float64{float64(i)}, nil)
 		if i < 3 {
 			c.put(keys[i], core.Result{Iterations: i}, []float64{float64(i)})
 		}

@@ -124,6 +124,7 @@ func (w *HTTPWorker) Solve(ctx context.Context, req serve.Request) (serve.Respon
 		Method:    req.Method,
 		Precond:   req.Precond,
 		Precision: req.Precision,
+		SStep:     req.SStep,
 		B:         req.B,
 		X0:        req.X0,
 		ReturnX:   true,

@@ -49,6 +49,7 @@ const (
 	SolverChronGear SolverName = "chrongear"
 	SolverPCG       SolverName = "pcg"
 	SolverPCSI      SolverName = "pcsi"
+	SolverSStep     SolverName = "sstep"
 )
 
 // Config describes a model run.
@@ -375,6 +376,8 @@ func (m *Model) Step() error {
 		res, eta, err = m.Sess.SolvePCG(m.psi, m.Eta)
 	case SolverPCSI:
 		res, eta, err = m.Sess.SolvePCSI(m.psi, m.Eta)
+	case SolverSStep:
+		res, eta, err = m.Sess.SolveSStep(m.psi, m.Eta)
 	default:
 		return fmt.Errorf("model: unknown solver %q", cfg.Solver)
 	}

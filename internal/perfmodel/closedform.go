@@ -36,3 +36,44 @@ func EqPCSIEVP(m *Machine, n2 float64, p int, k float64) float64 {
 		4*m.Alpha +
 		8*math.Sqrt(n2/float64(p))*8*m.Beta)
 }
+
+// sstepBlocks is the s-step solver's reduction count for K iterations in
+// blocks of s: one Gram reduction per block plus the solver's single extra
+// first-block reduction (which also carries ‖b‖²).
+func sstepBlocks(k float64, s int) float64 {
+	return math.Ceil(k/float64(s)) + 1
+}
+
+// sstepFlopsPerPt is the s-step solver's per-point, per-iteration flop
+// count on top of a preconditioner costing pc flops/point: stencil apply
+// (9) + Chebyshev three-term basis (≈3) + x/r block update (4), the Gram
+// dots amortized per iteration (3s + 3 + 2/s: the (2s+1)-wide Gram system
+// costs ~(3/2)s² dots per block), and the 4s block-recurrence AXPYs that
+// rebuild P and AP from the basis.
+func sstepFlopsPerPt(pc float64, s int) float64 {
+	sf := float64(s)
+	return pc + 9 + 3 + 4 + 3*sf + 3 + 2/sf + 4*sf
+}
+
+// eqSStep prices one s-step solve: per-iteration compute and halo exactly
+// like the one-matvec-per-iteration solvers, but the reduction latency
+// term paid only once per s-step block — the communication-avoiding trade
+// the method makes (Hoemmen-style CA-CG on the paper's cost model: flops
+// per iteration grow linearly in s while the α term shrinks by 1/s).
+func eqSStep(m *Machine, n2 float64, p int, k float64, s int, pc float64) float64 {
+	return k*(sstepFlopsPerPt(pc, s)*n2/float64(p)*m.Theta+
+		8*math.Sqrt(n2/float64(p))*8*m.Beta) +
+		sstepBlocks(k, s)*float64(4+log2Ceil(p))*m.Alpha
+}
+
+// EqSStepDiag prices one diagonal-preconditioned s-step solve of an
+// N²-point system on p ranks taking K iterations in blocks of s.
+func EqSStepDiag(m *Machine, n2 float64, p int, k float64, s int) float64 {
+	return eqSStep(m, n2, p, k, s, 2)
+}
+
+// EqSStepEVP prices the block-EVP-preconditioned s-step solve (the EVP
+// apply costs 15 flops/point, as in Eq. 5's 31 = 18 + 13 over Eq. 2).
+func EqSStepEVP(m *Machine, n2 float64, p int, k float64, s int) float64 {
+	return eqSStep(m, n2, p, k, s, 15)
+}

@@ -144,6 +144,31 @@ func TestClosedFormsCrossoverShape(t *testing.T) {
 	}
 }
 
+func TestClosedFormSStepCrossover(t *testing.T) {
+	// The s-step trade: flops per iteration grow ~7s while the reduction
+	// latency term shrinks by 1/s, so the winner flips with the
+	// flops-per-rank vs latency balance. At small p (flop-dominated) s=1
+	// must beat s=8; once the per-rank tile is small enough that the
+	// (4+log p)α term dominates, the order flips and s=8 must also
+	// undercut ChronGear at equal iteration counts.
+	m := Ideal()
+	n2 := 3600.0 * 2400.0
+	k := 200.0
+	p := 65536 // ~132 points/rank: reduction-latency dominated
+	if EqSStepDiag(m, n2, 16, k, 1) >= EqSStepDiag(m, n2, 16, k, 8) {
+		t.Fatal("at small p the flop term should make small s win")
+	}
+	if EqSStepDiag(m, n2, p, k, 8) >= EqSStepDiag(m, n2, p, k, 1) {
+		t.Fatalf("at %d cores the reduction term should make s=8 win", p)
+	}
+	if EqSStepDiag(m, n2, p, k, 8) >= EqChronGearDiag(m, n2, p, k) {
+		t.Fatal("s=8 should undercut ChronGear's per-iteration reductions at scale")
+	}
+	if EqSStepEVP(m, n2, p, k, 4) <= EqSStepDiag(m, n2, p, k, 4) {
+		t.Fatal("EVP must cost more per iteration than diagonal at fixed k")
+	}
+}
+
 func TestClosedFormEVPTradeoff(t *testing.T) {
 	// EVP roughly doubles per-iteration compute but cuts iterations ~3×, so
 	// with K'=K/3 the EVP variants must be faster at scale.

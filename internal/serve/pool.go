@@ -175,6 +175,9 @@ func (p *keyPool) build() (*core.Session, *sessionSlot, error) {
 	opts := o.Solver
 	opts.Precond = p.key.Precond
 	opts.Precision = p.key.Precision
+	if p.key.SStep > 0 {
+		opts.SStep = p.key.SStep
+	}
 
 	var d *decomp.Decomposition
 	if o.Cores > 0 {
@@ -225,7 +228,7 @@ func (p *keyPool) build() (*core.Session, *sessionSlot, error) {
 	if err := sess.Setup(); err != nil {
 		return nil, nil, err
 	}
-	if p.key.Method == core.MethodPCSI {
+	if p.key.Method == core.MethodPCSI || p.key.Method == core.MethodSStep {
 		if _, _, _, err := sess.EstimateEigenvalues(nil, 0); err != nil {
 			return nil, nil, err
 		}

@@ -170,16 +170,24 @@ type Key struct {
 	Precond core.PrecondType
 	// Precision is the iteration arithmetic (zero value = Float64).
 	Precision core.Precision
+	// SStep is the s-step block size, set only for MethodSStep (normalize
+	// zeroes it for every other method and defaults it to 4 for sstep) —
+	// sessions with different block sizes have different field arenas and
+	// different numerics, so they never share a pool.
+	SStep int
 }
 
 // String renders the key for metric labels: "test/pcsi/evp". Float64 — the
 // overwhelmingly common case — is implicit; float32 keys append a fourth
 // segment ("test/pcsi/evp/float32") so pre-existing float64 labels stay
-// stable.
+// stable. s-step keys append an "s4"-style segment for the same reason.
 func (k Key) String() string {
 	s := k.Grid + "/" + k.Method.String() + "/" + k.Precond.String()
 	if k.Precision == core.Float32 {
 		s += "/" + k.Precision.String()
+	}
+	if k.Method == core.MethodSStep {
+		s += fmt.Sprintf("/s%d", k.SStep)
 	}
 	return s
 }
@@ -198,6 +206,10 @@ type Request struct {
 	// Float64. Float32 requests run mixed-precision solves with iterative
 	// refinement on their own session pool.
 	Precision core.Precision
+	// SStep is the s-step block size for MethodSStep requests (0 = the
+	// default 4; valid 1..core.MaxSStep). Ignored — and normalized to 0 in
+	// the session key — for every other method.
+	SStep int
 	// B is the right-hand side (length = grid N). X0 is the initial guess
 	// (nil = zero).
 	B, X0 []float64
@@ -360,6 +372,18 @@ func normalize(req *Request) (Key, error) {
 	if k.Method == core.MethodCSI {
 		k.Method = core.MethodPCSI
 		k.Precond = core.PrecondIdentity
+	}
+	if k.Method == core.MethodSStep {
+		if k.Precision == core.Float32 {
+			return Key{}, fmt.Errorf("serve: method sstep has no float32 path: %w", core.ErrBadSpec)
+		}
+		k.SStep = req.SStep
+		if k.SStep == 0 {
+			k.SStep = 4
+		}
+		if k.SStep < 1 || k.SStep > core.MaxSStep {
+			return Key{}, fmt.Errorf("serve: s-step block size %d out of 1..%d: %w", k.SStep, core.MaxSStep, core.ErrBadSpec)
+		}
 	}
 	return k, nil
 }

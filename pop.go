@@ -153,6 +153,11 @@ const (
 	// MethodCSI is plain Stiefel iteration — MethodPCSI with identity
 	// preconditioning (NewSolver normalizes it to exactly that).
 	MethodCSI = core.MethodCSI
+	// MethodSStep is the communication-avoiding s-step PCG with a Chebyshev
+	// basis: SolverOptions.SStep matrix-vector products batched between
+	// single fused global reductions — at most ceil(iters/s)+1 reductions
+	// per converged solve. See SOLVERS.md for when to raise s.
+	MethodSStep = core.MethodSStep
 )
 
 // Preconditioners. The zero value is diagonal, POP's default.
@@ -222,7 +227,8 @@ const (
 func NewFaultInjector(plan FaultPlan) *FaultInjector { return faults.New(plan, nil) }
 
 // ParseMethod maps a method name ("chrongear", "pcg", "pipecg", "pcsi",
-// "csi"; "" = chrongear) to its Method; unknown names match ErrBadSpec.
+// "csi", "sstep"; "" = chrongear) to its Method; unknown names match
+// ErrBadSpec.
 func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
 
 // ParsePrecond maps a preconditioner name ("diagonal", "evp", "blocklu",

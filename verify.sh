@@ -61,6 +61,20 @@ shard4=$(go run ./cmd/popsolve -grid test -method chrongear -precond evp -cores 
 go run ./cmd/popsolve -grid test -method pcsi -precond evp -cores 12 -precision float32 \
     | grep -q 'converged=true'
 
+echo "== s-step solver gates (race) =="
+# The communication-avoiding s-step solver: RMSZ convergence equivalence
+# with fp64 ChronGear for every preconditioner × s, the ceil(iters/s)+1
+# reduction bound counted from the communicator, and fp64 bitwise
+# determinism across worker shards and warm-arena repeats.
+go test -race -count=1 -run 'TestSStep' ./internal/core/
+# The sharded s-step scheduler end to end: -threads 1 and -threads 4 runs
+# must print identical numerics, like the ChronGear gate above.
+ss1=$(go run ./cmd/popsolve -grid test -method sstep -precond evp -cores 12 -threads 1 | grep '^converged=')
+ss4=$(go run ./cmd/popsolve -grid test -method sstep -precond evp -cores 12 -threads 4 | grep '^converged=')
+[ "$ss1" = "$ss4" ] || {
+    echo "popsolve sstep numerics differ across -threads:"; echo "  1: $ss1"; echo "  4: $ss4"; exit 1; }
+echo "$ss1" | grep -q 'converged=true'
+
 echo "== doc coverage + examples =="
 # Every exported identifier of the public surface (pop, internal/serve,
 # internal/faults, internal/analysis and its test harness) must carry a doc
