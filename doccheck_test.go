@@ -18,6 +18,7 @@ var docPackages = []string{
 	".", "internal/serve", "internal/faults", "internal/obs",
 	"internal/analysis", "internal/analysis/analyzertest",
 	"internal/api", "internal/fleet", "internal/core",
+	"internal/comm", "internal/decomp", "internal/grid", "internal/stencil",
 }
 
 // TestPublicSurfaceDocumented fails on any exported identifier in the public

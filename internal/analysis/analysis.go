@@ -24,6 +24,16 @@
 //   - [TypedErr]: error returns in the public-facing packages must wrap
 //     with %w or use the typed Err*/*Error values so errors.Is/As matching
 //     cannot silently rot.
+//   - [WireDrift]: every semantic api.SolveRequest field must be carried
+//     by the binary frame (encode and decode), folded into HashSolve, and
+//     surfaced in the serve pool key the fleet shards on; deliberate
+//     exclusions carry //pop:nonsemantic <reason>.
+//   - [FaultLadder]: every core.Method must appear in the resilient
+//     degraded-mode ladder or carry //pop:noresilient <reason> at its
+//     definition.
+//   - [ReductionWidth]: AllReduce payload widths must be rank-invariant
+//     expressions — constants or s-derived closed forms — never derived
+//     from rank-local state.
 //
 // False positives are suppressed, one line at a time, with a directive
 // comment carrying the analyzer name and a mandatory reason:
@@ -46,5 +56,8 @@ func All() []*analysis.Analyzer {
 		HotPathAlloc,
 		CtxFlow,
 		TypedErr,
+		WireDrift,
+		FaultLadder,
+		ReductionWidth,
 	}
 }

@@ -32,10 +32,16 @@ import (
 //     rank, so conditions on data derived from them (reduced residuals,
 //     shared convergence verdicts, crash flags that rode a reduction) are
 //     divergence-safe.
-//   - A helper receiving the whole *comm.Rank handle is trusted: the
-//     analyzer checks the helper's own body instead of tainting its
-//     results, so `g, n, ok := reduceRetry(r, …)` yields lockstep values
-//     (reduceRetry's internal branches are themselves analyzed).
+//   - Same-package helper calls are followed one level interprocedurally:
+//     the callee's body is solved with the caller's argument taint, and
+//     the call result is tainted only when the callee actually returns
+//     rank-local data. `g, n, ok := reduceRetry(r, …)` stays lockstep
+//     because reduceRetry returns only reduction results, while a helper
+//     returning `r.ID` taints its callers — the hole the v1 rule left
+//     open by trusting any function handed the bare *comm.Rank. Calls
+//     that do not resolve to a same-package declaration keep the v1
+//     behavior: the bare rank handle does not propagate taint, every
+//     other argument does.
 //
 // The comm package itself — the runtime that implements the collectives out
 // of channels — is exempt.
@@ -54,12 +60,25 @@ func runCollectiveLockstep(pass *analysis.Pass) (any, error) {
 	ig := newIgnorer(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
+	// Index the package's own function declarations so the taint analysis
+	// can follow helper calls one level into their bodies.
+	decls := make(map[*types.Func]*ast.FuncDecl)
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
 		fd := n.(*ast.FuncDecl)
 		if fd.Body == nil || inTestFile(pass.Fset, fd.Pos()) {
 			return
 		}
-		tc := newTaintCtx(pass.TypesInfo)
+		if f, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			decls[f] = fd
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || inTestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		tc := newTaintCtx(pass.TypesInfo, decls)
 		tc.solve(fd.Body)
 		checkLockstep(pass, ig, tc, fd.Body)
 	})
@@ -200,10 +219,33 @@ func checkLockstep(pass *analysis.Pass, ig *ignorer, tc *taintCtx, body ast.Node
 type taintCtx struct {
 	info *types.Info
 	set  map[*types.Var]bool
+	// decls maps the package's own functions to their declarations for
+	// one-level interprocedural summaries (nil disables them — the
+	// reductionwidth analyzer runs the same machinery intra-procedurally).
+	decls map[*types.Func]*ast.FuncDecl
+	// depth is the summary nesting level: helper bodies are solved at
+	// depth 1, where further helper calls fall back to the syntactic rule,
+	// bounding the analysis to one interprocedural level.
+	depth int
+	// memo caches helper summaries by (declaration, argument-taint mask);
+	// the in-flight entry doubles as the recursion guard.
+	memo map[summaryKey]bool
 }
 
-func newTaintCtx(info *types.Info) *taintCtx {
-	return &taintCtx{info: info, set: make(map[*types.Var]bool)}
+// summaryKey identifies one helper summary: the callee declaration and the
+// bitmask of which incoming parameters (receiver first) carry taint.
+type summaryKey struct {
+	fd   *ast.FuncDecl
+	mask uint64
+}
+
+func newTaintCtx(info *types.Info, decls map[*types.Func]*ast.FuncDecl) *taintCtx {
+	return &taintCtx{
+		info:  info,
+		set:   make(map[*types.Var]bool),
+		decls: decls,
+		memo:  make(map[summaryKey]bool),
+	}
 }
 
 // solve runs the forward taint propagation to a fixpoint over body.
@@ -292,9 +334,23 @@ func (tc *taintCtx) tainted(e ast.Expr) bool {
 				(collectiveMethods[name] || lockstepRankMethods[name]) {
 				return false // result is identical on every rank
 			}
-			// Trusted-helper rule: a bare rank handle passed whole does not
-			// taint the call (the helper's own body is analyzed); every
-			// other argument propagates.
+			// One-level interprocedural rule: a call resolving to a
+			// same-package declaration is summarized — its result is tainted
+			// exactly when the callee's returns are, given this call's
+			// argument taint.
+			if tc.depth == 0 && tc.decls != nil {
+				if f := calleeFunc(tc.info, x); f != nil {
+					if fd, ok := tc.decls[f]; ok {
+						if tc.summaryTainted(fd, x) {
+							found = true
+						}
+						return false
+					}
+				}
+			}
+			// Fallback for unresolvable or cross-package calls: a bare rank
+			// handle passed whole does not taint the call; every other
+			// argument propagates.
 			for _, a := range x.Args {
 				if tc.isBareRank(a) {
 					continue
@@ -325,6 +381,132 @@ func (tc *taintCtx) tainted(e ast.Expr) bool {
 	}
 	ast.Inspect(e, visit)
 	return found
+}
+
+// summaryTainted reports whether the call's results carry rank-local data:
+// the callee body is solved in a fresh context seeded with the caller-side
+// taint of each argument (the bare rank handle itself is not data), then
+// every return expression is checked. Summaries are memoized per
+// (declaration, argument-taint mask), and the in-flight memo entry answers
+// recursive calls with "clean" so the computation terminates.
+func (tc *taintCtx) summaryTainted(fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	pvars := paramVars(tc.info, fd)
+	paramStart := 0
+	var seed []*types.Var
+	var mask uint64
+	markParam := func(i int) {
+		if i >= 0 && i < len(pvars) && pvars[i] != nil {
+			seed = append(seed, pvars[i])
+			if i < 64 {
+				mask |= 1 << i
+			}
+		}
+	}
+	if fd.Recv != nil {
+		paramStart = 1
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if !tc.isBareRank(sel.X) && tc.tainted(sel.X) {
+				markParam(0)
+			}
+		}
+	}
+	for i, a := range call.Args {
+		if tc.isBareRank(a) {
+			continue
+		}
+		if tc.tainted(a) {
+			idx := paramStart + i
+			if idx >= len(pvars) { // variadic tail
+				idx = len(pvars) - 1
+			}
+			markParam(idx)
+		}
+	}
+
+	key := summaryKey{fd: fd, mask: mask}
+	if r, ok := tc.memo[key]; ok {
+		return r
+	}
+	tc.memo[key] = false // recursion guard: self-calls answer clean
+	sub := &taintCtx{info: tc.info, set: make(map[*types.Var]bool),
+		decls: tc.decls, depth: tc.depth + 1, memo: tc.memo}
+	for _, v := range seed {
+		sub.set[v] = true
+	}
+	sub.solve(fd.Body)
+	result := returnsTainted(sub, fd)
+	tc.memo[key] = result
+	return result
+}
+
+// paramVars lists the callee's parameter variables, receiver first; an
+// unnamed receiver or parameter occupies its slot as nil.
+func paramVars(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	add := func(fl *ast.Field) {
+		if len(fl.Names) == 0 {
+			out = append(out, nil)
+			return
+		}
+		for _, nm := range fl.Names {
+			v, _ := info.Defs[nm].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		add(fd.Recv.List[0])
+	}
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			add(fl)
+		}
+	}
+	return out
+}
+
+// returnsTainted reports whether any return of fd (explicit result
+// expressions, or named results on a naked return) is tainted in the
+// solved callee context. Returns inside nested function literals belong to
+// the literal, not fd, and are skipped.
+func returnsTainted(sub *taintCtx, fd *ast.FuncDecl) bool {
+	var named []*types.Var
+	if fd.Type.Results != nil {
+		for _, fl := range fd.Type.Results.List {
+			for _, nm := range fl.Names {
+				if v, ok := sub.info.Defs[nm].(*types.Var); ok {
+					named = append(named, v)
+				}
+			}
+		}
+	}
+	tainted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == 0 {
+			for _, v := range named {
+				if sub.set[v] {
+					tainted = true
+				}
+			}
+			return true
+		}
+		for _, e := range ret.Results {
+			if sub.tainted(e) {
+				tainted = true
+			}
+		}
+		return true
+	})
+	return tainted
 }
 
 // isBareRank reports whether e is a plain reference of type comm.Rank or

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// noresilientDirective marks a core.Method deliberately left out of the
+// resilient degraded-mode ladder. The reason is mandatory:
+//
+//	// MethodSStep is the communication-avoiding s-step PCG …
+//	//
+//	//pop:noresilient fused Gram recurrence has no checkpoint/rollback protocol; request-level retry in internal/serve covers it
+//	MethodSStep
+const noresilientDirective = "//pop:noresilient"
+
+// Fault-ladder anchor points in the core package.
+const (
+	corePkgPath    = "repro/internal/core"
+	ladderFuncName = "SolveResilient"
+)
+
+// FaultLadder reports solver methods that are invisible to the resilient
+// degraded-mode ladder: a core.Method constant that SolveResilient's body
+// never mentions and whose definition carries no //pop:noresilient
+// directive.
+//
+// PR 9 added MethodSStep and left it outside SolveResilient's ladder with
+// only a SOLVERS.md paragraph recording the gap — exactly the kind of
+// prose-only invariant that rots when the next method lands. The analyzer
+// turns the gap into a build break: either the ladder handles the method
+// (a case arm, a guard, a fallback rung) or its definition says why not,
+// where the next reader will look.
+var FaultLadder = &analysis.Analyzer{
+	Name: "faultladder",
+	Doc: "report core.Method constants absent from the SolveResilient degraded-mode ladder" +
+		" and not annotated //pop:noresilient <reason>",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runFaultLadder,
+}
+
+func runFaultLadder(pass *analysis.Pass) (any, error) {
+	if !pkgInScope(pass, corePkgPath) {
+		return nil, nil
+	}
+	methodType, ok := pass.Pkg.Scope().Lookup("Method").(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Collect every Method constant the ladder's body mentions. Comparing
+	// against the constants SolveResilient *references* (rather than parsing
+	// its shape) keeps guards, case arms, and fallback rungs all counting as
+	// ladder membership.
+	ladder := make(map[types.Object]bool)
+	ladderFound := false
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Name.Name != ladderFuncName || fd.Body == nil || inTestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		ladderFound = true
+		ast.Inspect(fd.Body, func(c ast.Node) bool {
+			id, ok := c.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if con, ok := pass.TypesInfo.Uses[id].(*types.Const); ok &&
+				types.Identical(con.Type(), methodType.Type()) {
+				ladder[con] = true
+			}
+			return true
+		})
+	})
+	if !ladderFound {
+		return nil, nil
+	}
+
+	ig := newIgnorer(pass)
+	ins.Preorder([]ast.Node{(*ast.ValueSpec)(nil)}, func(n ast.Node) {
+		spec := n.(*ast.ValueSpec)
+		for _, name := range spec.Names {
+			con, ok := pass.TypesInfo.Defs[name].(*types.Const)
+			if !ok || !types.Identical(con.Type(), methodType.Type()) ||
+				inTestFile(pass.Fset, name.Pos()) {
+				continue
+			}
+			reason, found, malformed := popDirective(noresilientDirective, spec.Doc, spec.Comment)
+			if malformed.IsValid() {
+				pass.Reportf(malformed, "malformed %s directive: want %q",
+					noresilientDirective, noresilientDirective+" <reason>")
+			}
+			if found && reason != "" {
+				continue // deliberately outside the ladder, with rationale
+			}
+			if !ladder[con] {
+				ig.reportf(name.Pos(),
+					"solver method %s is not reachable from the %s degraded-mode ladder: a faulted solve cannot degrade; add a ladder rung or annotate %s <reason> at the definition",
+					con.Name(), ladderFuncName, noresilientDirective)
+			}
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	poplint "repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+// TestFaultLadder covers the three states a Method constant can be in:
+// referenced by SolveResilient (clean), annotated //pop:noresilient
+// (clean), and neither (diagnosed) — the MethodSStep gap class.
+func TestFaultLadder(t *testing.T) {
+	analyzertest.Run(t, "testdata/faultladder", poplint.FaultLadder, "repro/internal/core")
+}

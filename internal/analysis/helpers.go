@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -113,6 +114,31 @@ func pkgInScope(pass *analysis.Pass, paths ...string) bool {
 // external-test variant ("…_test") or the generated test main ("….test").
 func isTestPkgPath(path string) bool {
 	return strings.HasSuffix(path, ".test") || strings.HasSuffix(path, "_test")
+}
+
+// popDirective scans comment groups for one `//pop:` annotation directive
+// (//pop:nonsemantic, //pop:noresilient, …). It returns the directive's
+// reason text, whether the directive is present at all, and — when it is
+// present without a reason — the malformed directive's position, so the
+// caller can report it (an exclusion without a recorded justification is
+// rot waiting to happen, exactly like a reasonless //poplint:ignore).
+func popDirective(directive string, groups ...*ast.CommentGroup) (reason string, found bool, malformed token.Pos) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text != directive && !strings.HasPrefix(c.Text, directive+" ") {
+				continue
+			}
+			found = true
+			reason = strings.TrimSpace(strings.TrimPrefix(c.Text, directive))
+			if reason == "" {
+				malformed = c.Pos()
+			}
+		}
+	}
+	return reason, found, malformed
 }
 
 // builtinName returns the name of the builtin a call invokes ("make",

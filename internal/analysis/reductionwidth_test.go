@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	poplint "repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+// TestReductionWidth covers rank-invariant widths (constants, s-derived
+// closed forms, caller-shared parameters) staying clean while widths
+// derived from rank-local state (len(r.Blocks), r.ID arithmetic) are
+// diagnosed at the deriving expression.
+func TestReductionWidth(t *testing.T) {
+	analyzertest.Run(t, "testdata/reductionwidth", poplint.ReductionWidth, "redwidth")
+}

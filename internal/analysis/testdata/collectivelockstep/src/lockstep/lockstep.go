@@ -106,3 +106,45 @@ func suppressed(r *comm.Rank) {
 		r.Barrier()
 	}
 }
+
+// rankOwnID leaks rank-local data through a helper return: v1's
+// trusted-helper rule let this slip because the helper takes the bare
+// handle; the interprocedural summary follows the return value.
+func rankOwnID(r *comm.Rank) int {
+	return r.ID
+}
+
+func badHelperLeak(r *comm.Rank, payload []float64) {
+	if rankOwnID(r) == 0 {
+		r.Barrier() // want `guarded by rank-local condition`
+	}
+}
+
+// passThrough propagates whatever taint its argument carries.
+func passThrough(x int) int {
+	return x + 1
+}
+
+func badArgTaint(r *comm.Rank, payload []float64) {
+	if passThrough(r.ID) > 0 {
+		_ = r.AllReduce(payload) // want `guarded by rank-local condition`
+	}
+}
+
+func goodArgClean(r *comm.Rank, payload []float64, iters int) {
+	if passThrough(iters) > 0 { // caller-shared argument stays clean
+		_ = r.AllReduce(payload)
+	}
+}
+
+// worldSize derives from shared world config only — its summary is clean
+// even though it takes the rank handle.
+func worldSize(r *comm.Rank) int {
+	return r.World.NRank
+}
+
+func goodHelperClean(r *comm.Rank, fields [][]float64) {
+	if worldSize(r) > 1 {
+		r.Exchange(fields)
+	}
+}

@@ -1,0 +1,28 @@
+// Package core is a resilience-ladder stand-in: Method constants must be
+// referenced from SolveResilient or annotated //pop:noresilient.
+package core
+
+// Method selects the solver algorithm.
+type Method int
+
+const (
+	// MethodA is handled by the ladder's guard.
+	MethodA Method = iota
+	// MethodB is missing from the ladder and unannotated.
+	MethodB // want `solver method MethodB is not reachable from the SolveResilient degraded-mode ladder`
+	// MethodC is deliberately outside the ladder.
+	//
+	//pop:noresilient request-level retry covers this method
+	MethodC
+	// MethodD is the ladder's fallback rung.
+	MethodD
+)
+
+// SolveResilient is the degraded-mode ladder: MethodA degrades to MethodD,
+// everything else passes through.
+func SolveResilient(m Method) Method {
+	if m == MethodA {
+		return MethodD
+	}
+	return m
+}

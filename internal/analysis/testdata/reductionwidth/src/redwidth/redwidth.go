@@ -1,0 +1,65 @@
+// Package redwidth exercises the reductionwidth analyzer: AllReduce
+// payload widths must be rank-invariant.
+package redwidth
+
+import "repro/internal/comm"
+
+// goodConstWidth reduces constant-width payloads (the ChronGear idiom).
+func goodConstWidth(r *comm.Rank, payload []float64) {
+	_ = r.AllReduce(payload[:1])
+	_ = r.AllReduce(payload[:2])
+}
+
+// goodClosedForm sizes the payload from the s-derived closed form shared
+// by every rank (the s-step Gram idiom).
+func goodClosedForm(r *comm.Rank, s int) {
+	width := 2*s + 1
+	payload := make([]float64, width)
+	_ = r.AllReduce(payload)
+}
+
+// goodParam passes a caller-shared parameter payload through (the
+// reduceRetry idiom).
+func goodParam(r *comm.Rank, vals []float64) []float64 {
+	return r.AllReduce(vals)
+}
+
+// goodReslice narrows a payload with constant bounds through a local.
+func goodReslice(r *comm.Rank, payload []float64, wide bool) {
+	p := payload[:2]
+	if wide {
+		p = payload[:5]
+	}
+	_ = r.AllReduce(p)
+}
+
+// goodLiteral reduces a literal payload.
+func goodLiteral(r *comm.Rank, x float64) {
+	_ = r.AllReduce([]float64{x, x * x})
+}
+
+// badLocalWidth sizes the payload from the rank's own block count: ranks
+// with different block counts would pack different widths.
+func badLocalWidth(r *comm.Rank) {
+	payload := make([]float64, len(r.Blocks)) // want `reduction payload width of AllReduce derives from rank-local`
+	_ = r.AllReduce(payload)
+}
+
+// badSliceBound slices the payload by a rank-local bound at the call site.
+func badSliceBound(r *comm.Rank, payload []float64) {
+	n := r.ID + 1
+	_ = r.AllReduce(payload[:n]) // want `reduction payload width of AllReduce derives from rank-local`
+}
+
+// badOverlapWidth is the same hazard on the overlapped reduction.
+func badOverlapWidth(r *comm.Rank, payload []float64) {
+	w := len(r.Blocks)
+	_ = r.AllReduceOverlap(payload[:w], 0) // want `reduction payload width of AllReduceOverlap derives from rank-local`
+}
+
+// suppressedWidth records a justified exception.
+func suppressedWidth(r *comm.Rank, payload []float64) {
+	n := r.ID + 1
+	//poplint:ignore reductionwidth harness exercises the suppression path
+	_ = r.AllReduce(payload[:n])
+}

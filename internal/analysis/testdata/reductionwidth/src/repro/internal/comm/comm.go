@@ -1,0 +1,43 @@
+// Package comm is a testdata stand-in for repro/internal/comm: just enough
+// of the Rank surface (collectives, lockstep accessors, rank-local fields)
+// for the collectivelockstep analyzer to resolve method calls against.
+package comm
+
+// World mirrors the shared collective configuration.
+type World struct {
+	NRank int
+}
+
+// Rank mirrors the per-rank handle.
+type Rank struct {
+	ID     int
+	World  *World
+	Blocks []int
+}
+
+// AllReduce is a collective.
+func (r *Rank) AllReduce(vals []float64) []float64 { return vals }
+
+// AllReduceOverlap is a collective.
+func (r *Rank) AllReduceOverlap(vals []float64, flops int64) []float64 { return vals }
+
+// Barrier is a collective.
+func (r *Rank) Barrier() {}
+
+// Exchange is a collective.
+func (r *Rank) Exchange(fields [][]float64) {}
+
+// Exchange32 is the float32 halo collective.
+func (r *Rank) Exchange32(fields [][]float32) {}
+
+// ExchangeMulti is a collective.
+func (r *Rank) ExchangeMulti(levels [][][]float64) {}
+
+// ReduceFailed is a lockstep accessor: identical on every rank.
+func (r *Rank) ReduceFailed() bool { return false }
+
+// ReduceSeq is a lockstep accessor: identical on every rank.
+func (r *Rank) ReduceSeq() int64 { return 0 }
+
+// Clock is rank-local state (virtual elapsed time differs per rank).
+func (r *Rank) Clock() float64 { return 0 }

@@ -1,0 +1,72 @@
+// Package api is a wire-schema stand-in with seeded drift: SStep is
+// carried by the frame and the pool key but missing from HashSolve, Fresh
+// is hashed but never made it into the binary frame, HashSolve accepts x0
+// and drops it, and FrameRequest declares a Ghost field its decoder never
+// reads.
+package api
+
+// SolveRequest is the JSON wire request.
+type SolveRequest struct {
+	// Grid names the preset.
+	Grid string
+	// Method names the solver.
+	Method string
+	// SStep is the seeded drift: framed, pooled, but never hashed.
+	SStep int // want `semantic field SStep of SolveRequest is not an ingredient of HashSolve`
+	// Fresh is hashed but was never added to the binary frame.
+	Fresh float64 // want `semantic field Fresh of SolveRequest has no FrameRequest counterpart`
+	// B is the right-hand side.
+	B []float64
+	// X0 is the initial guess.
+	X0 []float64
+	// TimeoutMS bounds the solve.
+	//
+	//pop:nonsemantic request deadline, not solve content
+	TimeoutMS int
+}
+
+// FrameRequest is the binary frame's decoded form.
+type FrameRequest struct {
+	// Grid names the preset.
+	Grid string
+	// Method names the solver.
+	Method string
+	// SStep is the block size.
+	SStep int
+	// B is the right-hand side.
+	B []float64
+	// X0 is the initial guess.
+	X0 []float64
+	// TimeoutMS bounds the solve.
+	TimeoutMS int
+	// Ghost is encoded but never decoded.
+	Ghost int // want `field Ghost of FrameRequest is never referenced by DecodeFrameRequest`
+}
+
+// AppendFrameRequest encodes r.
+func AppendFrameRequest(dst []byte, r FrameRequest) []byte {
+	return append(dst, byte(len(r.Grid)), byte(len(r.Method)), byte(r.SStep),
+		byte(len(r.B)), byte(len(r.X0)), byte(r.TimeoutMS), byte(r.Ghost))
+}
+
+// DecodeFrameRequest decodes raw.
+func DecodeFrameRequest(raw []byte) FrameRequest {
+	var r FrameRequest
+	r.Grid = string(raw[:1])
+	r.Method = string(raw[1:2])
+	r.SStep = int(raw[2])
+	r.B = []float64{float64(raw[3])}
+	r.X0 = []float64{float64(raw[4])}
+	r.TimeoutMS = int(raw[5])
+	return r
+}
+
+// HashSolve hashes the content surface; sstep is missing and x0 dropped.
+func HashSolve(grid, method string, fresh float64, b, x0 []float64) [4]byte { // want `HashSolve parameter x0 is accepted but never folded into the hash`
+	var h [4]byte
+	h[0] = byte(len(grid))
+	h[1] = byte(len(method))
+	h[2] = byte(fresh)
+	h[3] = byte(len(b))
+	return h
+}

@@ -1,0 +1,17 @@
+// Package fleet joins the hash and the pool key — the layer where wire
+// drift becomes a cache-correctness bug.
+package fleet
+
+import (
+	"repro/internal/api"
+	"repro/internal/serve" // want `semantic wire field SStep is not part of the serve pool Key`
+)
+
+// Dispatch hashes one request and derives its pool key.
+func Dispatch(req api.SolveRequest) ([4]byte, serve.Key) {
+	h := api.HashSolve(req.Grid, req.Method, req.Fresh, req.B, req.X0)
+	k := serve.NormalizeRequest(&serve.Request{
+		Grid: req.Grid, Method: req.Method, Fresh: req.Fresh, B: req.B, X0: req.X0,
+	})
+	return h, k
+}

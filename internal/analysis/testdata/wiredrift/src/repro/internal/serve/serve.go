@@ -1,0 +1,34 @@
+// Package serve is a pool-key stand-in where Key declares a Stale field
+// the normalizer never folds in.
+package serve
+
+// Key identifies one warmed session pool.
+type Key struct {
+	// Grid names the preset.
+	Grid string
+	// Method names the solver.
+	Method string
+	// Fresh is the relaxation weight.
+	Fresh float64
+	// Stale is declared but never normalized.
+	Stale string // want `pool-key field Stale is never referenced in the request normalizer`
+}
+
+// Request is the internal solve request.
+type Request struct {
+	// Grid names the preset.
+	Grid string
+	// Method names the solver.
+	Method string
+	// Fresh is the relaxation weight.
+	Fresh float64
+	// B is the right-hand side.
+	B []float64
+	// X0 is the initial guess.
+	X0 []float64
+}
+
+// NormalizeRequest folds req into its pool key — Stale is forgotten.
+func NormalizeRequest(req *Request) Key {
+	return Key{Grid: req.Grid, Method: req.Method, Fresh: req.Fresh}
+}

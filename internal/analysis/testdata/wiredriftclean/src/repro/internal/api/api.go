@@ -1,0 +1,71 @@
+// Package api is a wire-schema stand-in whose semantic fields hold full
+// parity across frame encode, frame decode, and the content hash; the
+// fields outside the hash carry //pop:nonsemantic directives.
+package api
+
+// SolveRequest is the JSON wire request.
+type SolveRequest struct {
+	// Grid names the preset.
+	Grid string
+	// Method names the solver.
+	Method string
+	// SStep is the s-step block size.
+	SStep int
+	// B is the right-hand side.
+	B []float64
+	// X0 is the initial guess.
+	X0 []float64
+	// RHS names a synthetic generator.
+	//
+	//pop:nonsemantic resolved to an explicit B before hashing
+	RHS string
+	// TimeoutMS bounds the solve.
+	//
+	//pop:nonsemantic request deadline, not solve content
+	TimeoutMS int
+}
+
+// FrameRequest is the binary frame's decoded form.
+type FrameRequest struct {
+	// Grid names the preset.
+	Grid string
+	// Method names the solver.
+	Method string
+	// SStep is the block size.
+	SStep int
+	// B is the right-hand side.
+	B []float64
+	// X0 is the initial guess.
+	X0 []float64
+	// TimeoutMS bounds the solve.
+	TimeoutMS int
+}
+
+// AppendFrameRequest encodes r.
+func AppendFrameRequest(dst []byte, r FrameRequest) []byte {
+	return append(dst, byte(len(r.Grid)), byte(len(r.Method)), byte(r.SStep),
+		byte(len(r.B)), byte(len(r.X0)), byte(r.TimeoutMS))
+}
+
+// DecodeFrameRequest decodes raw.
+func DecodeFrameRequest(raw []byte) FrameRequest {
+	var r FrameRequest
+	r.Grid = string(raw[:1])
+	r.Method = string(raw[1:2])
+	r.SStep = int(raw[2])
+	r.B = []float64{float64(raw[3])}
+	r.X0 = []float64{float64(raw[4])}
+	r.TimeoutMS = int(raw[5])
+	return r
+}
+
+// HashSolve hashes the full content surface.
+func HashSolve(grid, method string, sstep int, b, x0 []float64) [5]byte {
+	var h [5]byte
+	h[0] = byte(len(grid))
+	h[1] = byte(len(method))
+	h[2] = byte(sstep)
+	h[3] = byte(len(b))
+	h[4] = byte(len(x0))
+	return h
+}

@@ -1,0 +1,16 @@
+// Package fleet joins the hash and the pool key with full parity.
+package fleet
+
+import (
+	"repro/internal/api"
+	"repro/internal/serve"
+)
+
+// Dispatch hashes one request and derives its pool key.
+func Dispatch(req api.SolveRequest) ([5]byte, serve.Key) {
+	h := api.HashSolve(req.Grid, req.Method, req.SStep, req.B, req.X0)
+	k := serve.NormalizeRequest(&serve.Request{
+		Grid: req.Grid, Method: req.Method, SStep: req.SStep, B: req.B, X0: req.X0,
+	})
+	return h, k
+}

@@ -1,0 +1,37 @@
+// Package serve is a pool-key stand-in whose normalizer covers every Key
+// field (through the exported wrapper and the internal fold).
+package serve
+
+// Key identifies one warmed session pool.
+type Key struct {
+	// Grid names the preset.
+	Grid string
+	// Method names the solver.
+	Method string
+	// SStep is the block size.
+	SStep int
+}
+
+// Request is the internal solve request.
+type Request struct {
+	// Grid names the preset.
+	Grid string
+	// Method names the solver.
+	Method string
+	// SStep is the block size.
+	SStep int
+	// B is the right-hand side.
+	B []float64
+	// X0 is the initial guess.
+	X0 []float64
+}
+
+// NormalizeRequest folds req into its pool key.
+func NormalizeRequest(req *Request) Key {
+	return normalize(req)
+}
+
+// normalize is the internal fold.
+func normalize(req *Request) Key {
+	return Key{Grid: req.Grid, Method: req.Method, SStep: req.SStep}
+}

@@ -1,0 +1,39 @@
+// Package api exercises the malformed //pop:nonsemantic directive: a
+// directive without a reason is itself reported, and the field stays
+// semantic (so its parity violations surface too).
+package api
+
+// SolveRequest is the JSON wire request.
+type SolveRequest struct {
+	// Grid names the preset.
+	Grid string
+	// Bad carries a reasonless directive and therefore stays semantic.
+	//
+	//pop:nonsemantic
+	Bad int
+}
+
+// FrameRequest is the binary frame's decoded form.
+type FrameRequest struct {
+	// Grid names the preset.
+	Grid string
+}
+
+// AppendFrameRequest encodes r.
+func AppendFrameRequest(dst []byte, r FrameRequest) []byte {
+	return append(dst, byte(len(r.Grid)))
+}
+
+// DecodeFrameRequest decodes raw.
+func DecodeFrameRequest(raw []byte) FrameRequest {
+	var r FrameRequest
+	r.Grid = string(raw[:1])
+	return r
+}
+
+// HashSolve hashes the content surface.
+func HashSolve(grid string) [1]byte {
+	var h [1]byte
+	h[0] = byte(len(grid))
+	return h
+}

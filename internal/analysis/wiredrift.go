@@ -1,0 +1,422 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Wire-surface package paths. The analyzer's checks are anchored on the
+// three layers a solve request crosses: the api package that defines the
+// wire schema, the serve package that folds requests into pool keys, and
+// the fleet package where the content hash and the pool key meet.
+const (
+	apiPkgPath   = "repro/internal/api"
+	servePkgPath = "repro/internal/serve"
+	fleetPkgPath = "repro/internal/fleet"
+)
+
+// nonsemanticDirective marks a SolveRequest field that is deliberately NOT
+// part of the solve's content: it may change without changing the answer,
+// so it is excluded from api.HashSolve and from the fleet pool-key parity
+// checks. The reason is mandatory:
+//
+//	// TimeoutMS bounds the solve in milliseconds.
+//	//
+//	//pop:nonsemantic request deadline; bounds when the solve runs, not what it computes
+//	TimeoutMS int
+const nonsemanticDirective = "//pop:nonsemantic"
+
+// WireFields is the package fact wiredrift exports from the api package:
+// the names of SolveRequest's semantic fields (every field not annotated
+// //pop:nonsemantic). Downstream passes — the fleet package imports api —
+// use it to verify the pool-key surface kept up with the wire schema.
+type WireFields struct {
+	// Semantic lists the semantic field names, sorted.
+	Semantic []string
+	// Vector marks which semantic fields are float vectors (B, X0): they
+	// are hashed per-request rather than folded into the session pool key.
+	Vector map[string]bool
+}
+
+// AFact marks WireFields as an analysis fact.
+func (*WireFields) AFact() {}
+
+// String renders the fact for -facts debugging output.
+func (f *WireFields) String() string {
+	return "wirefields(" + strings.Join(f.Semantic, ",") + ")"
+}
+
+// WireDrift reports wire-schema drift: a semantic field of
+// api.SolveRequest that is not carried by the binary frame, not an
+// ingredient of the api.HashSolve content hash, or not part of the serve
+// pool-key surface the fleet shards on.
+//
+// PR 9 hand-threaded SStep through exactly these four surfaces (frame
+// encode, frame decode, HashSolve, serve.Key) — four edits that nothing
+// but discipline kept in sync. Each one, forgotten, is a silent
+// correctness bug: a dropped frame field solves the wrong problem on the
+// worker; a missing hash ingredient replays another request's cached
+// solution; a missing pool-key field shares warmed sessions between
+// solves with different numerics. The analyzer makes the parity
+// machine-checked:
+//
+//   - api pass: every semantic SolveRequest field must have a same-named
+//     FrameRequest counterpart, be encoded by AppendFrameRequest, decoded
+//     by DecodeFrameRequest, and map (case-insensitively) to a HashSolve
+//     parameter that the hash body actually consumes. Fields deliberately
+//     outside the content hash (TimeoutMS, TraceID, …) carry a
+//     //pop:nonsemantic directive with a mandatory reason.
+//   - serve pass: every field of the pool Key must be referenced inside
+//     normalize/NormalizeRequest — a Key field the normalizer never sets
+//     silently merges pools.
+//   - fleet pass (imports api and serve, where hash and pool key meet):
+//     every semantic scalar field must be a serve.Key field, and every
+//     semantic vector field a serve.Request field, read through the
+//     WireFields fact the api pass exported.
+var WireDrift = &analysis.Analyzer{
+	Name: "wiredrift",
+	Doc: "report api.SolveRequest fields missing from the frame codec, the content hash," +
+		" or the serve pool-key surface (wire-schema drift)",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*WireFields)(nil)},
+	Run:       runWireDrift,
+}
+
+func runWireDrift(pass *analysis.Pass) (any, error) {
+	switch {
+	case pkgInScope(pass, apiPkgPath):
+		return nil, wireDriftAPI(pass)
+	case pkgInScope(pass, servePkgPath):
+		return nil, wireDriftServe(pass)
+	case pkgInScope(pass, fleetPkgPath):
+		return nil, wireDriftFleet(pass)
+	}
+	return nil, nil
+}
+
+// wireField is one SolveRequest field as the api pass sees it.
+type wireField struct {
+	name         string
+	pos          token.Pos
+	vector       bool // slice/array-shaped payload
+	doc, comment *ast.CommentGroup
+}
+
+// wireDriftAPI checks the api package's internal parity (SolveRequest ↔
+// FrameRequest ↔ frame codec ↔ HashSolve) and exports the WireFields fact.
+func wireDriftAPI(pass *analysis.Pass) error {
+	ig := newIgnorer(pass)
+	solveFields := structFields(pass, "SolveRequest")
+	frameFields := structFields(pass, "FrameRequest")
+	if solveFields == nil || frameFields == nil {
+		return nil // not the wire-schema package shape; nothing to check
+	}
+
+	var semantic []wireField
+	for _, f := range solveFields {
+		reason, found, malformedPos := popDirective(nonsemanticDirective, f.doc, f.comment)
+		if malformedPos.IsValid() {
+			pass.Reportf(malformedPos, "malformed %s directive: want %q",
+				nonsemanticDirective, nonsemanticDirective+" <reason>")
+		}
+		if found && reason != "" {
+			continue // deliberately outside the content hash
+		}
+		semantic = append(semantic, f)
+	}
+
+	frameByName := make(map[string]wireField, len(frameFields))
+	for _, f := range frameFields {
+		frameByName[f.name] = f
+	}
+
+	encodeRefs := frameFieldRefs(pass, "AppendFrameRequest", "FrameRequest")
+	decodeRefs := frameFieldRefs(pass, "DecodeFrameRequest", "FrameRequest")
+	hashParams, hashUsed := funcParams(pass, "HashSolve")
+
+	for _, f := range semantic {
+		if _, ok := frameByName[f.name]; !ok {
+			ig.reportf(f.pos,
+				"semantic field %s of SolveRequest has no FrameRequest counterpart: the binary frame would drop it (annotate %s <reason> if that is deliberate)",
+				f.name, nonsemanticDirective)
+		}
+		param, ok := matchParam(hashParams, f.name)
+		if !ok {
+			ig.reportf(f.pos,
+				"semantic field %s of SolveRequest is not an ingredient of HashSolve: requests differing only in it would collide in the result cache (hash it or annotate %s <reason>)",
+				f.name, nonsemanticDirective)
+		} else if !hashUsed[param] {
+			ig.reportf(param.Pos(),
+				"HashSolve parameter %s is accepted but never folded into the hash: requests differing only in it would collide in the result cache",
+				param.Name())
+		}
+	}
+
+	// Every field FrameRequest declares must cross the wire in both
+	// directions — an encoded-but-never-decoded field is silent truncation.
+	for _, f := range frameFields {
+		if !encodeRefs[f.name] {
+			ig.reportf(f.pos, "field %s of FrameRequest is never referenced by AppendFrameRequest: the frame encoder drops it", f.name)
+		}
+		if !decodeRefs[f.name] {
+			ig.reportf(f.pos, "field %s of FrameRequest is never referenced by DecodeFrameRequest: the frame decoder drops it", f.name)
+		}
+	}
+
+	fact := &WireFields{Vector: make(map[string]bool)}
+	for _, f := range semantic {
+		fact.Semantic = append(fact.Semantic, f.name)
+		if f.vector {
+			fact.Vector[f.name] = true
+		}
+	}
+	sort.Strings(fact.Semantic)
+	pass.ExportPackageFact(fact)
+	return nil
+}
+
+// wireDriftServe checks pool-key completeness of the normalizer: every
+// field of serve.Key must be referenced inside normalize/NormalizeRequest.
+func wireDriftServe(pass *analysis.Pass) error {
+	ig := newIgnorer(pass)
+	keyFields := structFields(pass, "Key")
+	if keyFields == nil {
+		return nil
+	}
+	used := make(map[string]bool)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || (fd.Name.Name != "normalize" && fd.Name.Name != "NormalizeRequest") {
+			return
+		}
+		ast.Inspect(fd.Body, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				used[id.Name] = true
+			}
+			return true
+		})
+	})
+	if len(used) == 0 {
+		return nil // no normalizer in this package shape
+	}
+	for _, f := range keyFields {
+		if !used[f.name] {
+			ig.reportf(f.pos,
+				"pool-key field %s is never referenced in the request normalizer (normalize/NormalizeRequest): requests differing in it would share a session pool",
+				f.name)
+		}
+	}
+	return nil
+}
+
+// wireDriftFleet closes the parity loop where the content hash and the
+// pool key meet: every semantic wire field (per the api pass's WireFields
+// fact) must surface in the serve types the fleet shards and pools on.
+func wireDriftFleet(pass *analysis.Pass) error {
+	var apiPkg, servePkg *types.Package
+	for _, imp := range pass.Pkg.Imports() {
+		switch imp.Path() {
+		case apiPkgPath:
+			apiPkg = imp
+		case servePkgPath:
+			servePkg = imp
+		}
+	}
+	if apiPkg == nil || servePkg == nil {
+		return nil
+	}
+	var wf WireFields
+	if !pass.ImportPackageFact(apiPkg, &wf) {
+		return nil // api pass exported nothing (not the wire-schema shape)
+	}
+	keySet := typeFieldSet(servePkg, "Key")
+	reqSet := typeFieldSet(servePkg, "Request")
+	if keySet == nil || reqSet == nil {
+		return nil
+	}
+	pos := importPos(pass, servePkgPath)
+	for _, name := range wf.Semantic {
+		if wf.Vector[name] {
+			if !reqSet[name] {
+				pass.Reportf(pos,
+					"semantic wire field %s has no serve.Request counterpart: the fleet cannot carry it to a worker (wire drift)", name)
+			}
+			continue
+		}
+		if !keySet[name] {
+			pass.Reportf(pos,
+				"semantic wire field %s is not part of the serve pool Key: sessions with different %s would share warmed pools while hashing differently (wire drift)", name, name)
+		}
+	}
+	return nil
+}
+
+// structFields returns the declared fields of the package-level struct type
+// named typeName, or nil when no such struct exists in this package.
+func structFields(pass *analysis.Pass, typeName string) []wireField {
+	var out []wireField
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	found := false
+	ins.Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		ts := n.(*ast.TypeSpec)
+		if ts.Name.Name != typeName || inTestFile(pass.Fset, ts.Pos()) {
+			return
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		found = true
+		for _, fld := range st.Fields.List {
+			vector := isVectorType(pass.TypesInfo.TypeOf(fld.Type))
+			for _, name := range fld.Names {
+				out = append(out, wireField{
+					name: name.Name, pos: name.Pos(), vector: vector,
+					doc: fld.Doc, comment: fld.Comment,
+				})
+			}
+		}
+	})
+	if !found {
+		return nil
+	}
+	return out
+}
+
+// frameFieldRefs collects which fields of the named struct type are
+// referenced (read or written) via selector inside the named function.
+func frameFieldRefs(pass *analysis.Pass, funcName, typeName string) map[string]bool {
+	refs := make(map[string]bool)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Name.Name != funcName || fd.Body == nil || inTestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		ast.Inspect(fd.Body, func(c ast.Node) bool {
+			sel, ok := c.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isNamedStruct(pass.TypesInfo.TypeOf(sel.X), pass.Pkg, typeName) {
+				refs[sel.Sel.Name] = true
+			}
+			return true
+		})
+	})
+	return refs
+}
+
+// isNamedStruct reports whether t is (a pointer to) the named type
+// pkg.typeName.
+func isNamedStruct(t types.Type, pkg *types.Package, typeName string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() == pkg
+}
+
+// funcParams returns the named function's parameter variables and which of
+// them its body actually uses.
+func funcParams(pass *analysis.Pass, funcName string) ([]*types.Var, map[*types.Var]bool) {
+	var params []*types.Var
+	used := make(map[*types.Var]bool)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Name.Name != funcName || fd.Body == nil || inTestFile(pass.Fset, fd.Pos()) {
+			return
+		}
+		for _, fl := range fd.Type.Params.List {
+			for _, name := range fl.Names {
+				if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+					params = append(params, v)
+				}
+			}
+		}
+		ast.Inspect(fd.Body, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+					used[v] = true
+				}
+			}
+			return true
+		})
+	})
+	return params, used
+}
+
+// matchParam finds the parameter whose name case-insensitively equals the
+// field name (Grid→grid, SStep→sstep, X0→x0).
+func matchParam(params []*types.Var, field string) (*types.Var, bool) {
+	for _, p := range params {
+		if strings.EqualFold(p.Name(), field) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// typeFieldSet returns the field-name set of pkg's package-level struct
+// type named typeName, via its type information (no source needed).
+func typeFieldSet(pkg *types.Package, typeName string) map[string]bool {
+	obj := pkg.Scope().Lookup(typeName)
+	if obj == nil {
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	set := make(map[string]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		set[st.Field(i).Name()] = true
+	}
+	return set
+}
+
+// isVectorType reports whether t's underlying type is a slice or array —
+// the per-request payload shape (B, X0) that is hashed rather than folded
+// into the session pool key.
+func isVectorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// importPos anchors cross-package diagnostics on the import declaration of
+// the named package (falling back to the first file).
+func importPos(pass *analysis.Pass, path string) token.Pos {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == path {
+				return imp.Pos()
+			}
+		}
+	}
+	if len(pass.Files) > 0 {
+		return pass.Files[0].Pos()
+	}
+	return token.NoPos
+}

@@ -1,0 +1,55 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	poplint "repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+// TestWireDriftAPI runs the seeded-drift fixture: SStep carried by the
+// frame and the pool key but missing from HashSolve (the PR-9 bug class),
+// plus the surrounding frame- and hash-parity violations.
+func TestWireDriftAPI(t *testing.T) {
+	analyzertest.Run(t, "testdata/wiredrift", poplint.WireDrift, "repro/internal/api")
+}
+
+// TestWireDriftServe covers pool-key completeness: a Key field the
+// normalizer never references.
+func TestWireDriftServe(t *testing.T) {
+	analyzertest.Run(t, "testdata/wiredrift", poplint.WireDrift, "repro/internal/serve")
+}
+
+// TestWireDriftFleet covers the fact-driven cross-package check: the api
+// package's semantic field set (exported as a WireFields fact) checked
+// against the serve pool-key surface where fleet imports both.
+func TestWireDriftFleet(t *testing.T) {
+	analyzertest.Run(t, "testdata/wiredrift", poplint.WireDrift, "repro/internal/fleet")
+}
+
+// TestWireDriftClean asserts zero diagnostics across a fully-wired
+// api/serve/fleet triple with annotated nonsemantic fields.
+func TestWireDriftClean(t *testing.T) {
+	for _, path := range []string{
+		"repro/internal/api", "repro/internal/serve", "repro/internal/fleet",
+	} {
+		analyzertest.Run(t, "testdata/wiredriftclean", poplint.WireDrift, path)
+	}
+}
+
+// TestWireDriftMalformedDirective asserts a reasonless //pop:nonsemantic
+// is reported (its diagnostic lands on the directive's own line, which a
+// want comment cannot occupy, so this asserts on raw messages).
+func TestWireDriftMalformedDirective(t *testing.T) {
+	msgs := analyzertest.Diagnostics(t, "testdata/wiredriftdirective", poplint.WireDrift, "repro/internal/api")
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m, "malformed //pop:nonsemantic directive") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected malformed-directive diagnostic, got %q", msgs)
+	}
+}

@@ -7,15 +7,18 @@ import (
 )
 
 // Accepted enum spellings, surfaced verbatim in 400 bodies so a rejected
-// request tells the client how to fix itself. Order matches the parse
-// switch cases; the default spelling comes first.
+// request tells the client how to fix itself. All four lists derive from
+// core — the spelling tables behind the core parsers and core.MaxSStep —
+// so the JSON FieldError bodies here and the frame validation in frame.go
+// (which share these vars) can never drift from what the parsers accept.
+// Order is the tables' order: the default spelling comes first.
 var (
-	acceptedMethods    = []string{"chrongear", "pcg", "pipecg", "pcsi", "csi", "sstep"}
-	acceptedPreconds   = []string{"diagonal", "evp", "blocklu", "none"}
-	acceptedPrecisions = []string{"float64", "fp64", "double", "float32", "fp32", "single"}
+	acceptedMethods    = core.MethodNames()
+	acceptedPreconds   = core.PrecondNames()
+	acceptedPrecisions = core.PrecisionNames()
 	// acceptedSSteps documents the numeric range for the 400 body (the
 	// field is an int, not an enum, so these are range descriptions).
-	acceptedSSteps = []string{"0 (default)", "1..16"}
+	acceptedSSteps = []string{"0 (default)", fmt.Sprintf("1..%d", core.MaxSStep)}
 )
 
 // AcceptedMethods lists the method names ParseMethod accepts ("" defaults

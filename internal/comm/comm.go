@@ -54,17 +54,26 @@ type CostModel interface {
 // FreeModel is a CostModel under which everything is instantaneous.
 type FreeModel struct{}
 
+// FlopTime implements CostModel: compute is free.
 func (FreeModel) FlopTime(int64, int, int64) float64 { return 0 }
-func (FreeModel) P2PTime(int64) float64              { return 0 }
-func (FreeModel) ReduceTime(int, int64) float64      { return 0 }
+
+// P2PTime implements CostModel: messages are free.
+func (FreeModel) P2PTime(int64) float64 { return 0 }
+
+// ReduceTime implements CostModel: reductions are free.
+func (FreeModel) ReduceTime(int, int64) float64 { return 0 }
 
 // Counters accumulates per-rank event counts and virtual time per component,
 // mirroring the POP timers the paper reports (computation, boundary
 // updating, global reduction — §2.2).
 type Counters struct {
-	Flops      int64
-	HaloMsgs   int64
-	HaloBytes  int64
+	// Flops counts floating-point operations charged to the rank.
+	Flops int64
+	// HaloMsgs counts point-to-point halo messages sent.
+	HaloMsgs int64
+	// HaloBytes counts total halo payload bytes sent.
+	HaloBytes int64
+	// Reductions counts global reductions the rank took part in.
 	Reductions int64
 
 	TComp   float64 // virtual seconds in computation
@@ -88,8 +97,11 @@ func (c *Counters) Add(o Counters) {
 
 // World is a communicator over the ocean blocks of a decomposition.
 type World struct {
-	D     *decomp.Decomposition
-	Cost  CostModel
+	// D is the block decomposition the ranks operate on.
+	D *decomp.Decomposition
+	// Cost prices compute, messages and reductions in virtual time.
+	Cost CostModel
+	// NRank is the number of simulated ranks.
 	NRank int
 
 	// Tracer, when non-nil, receives per-phase span events (compute, halo
@@ -250,9 +262,12 @@ var sideOffsets = [4][2]int{
 
 // Rank is the per-rank handle passed to SPMD programs.
 type Rank struct {
-	ID     int
-	World  *World
-	Blocks []*decomp.Block // owned blocks, in ByRank order
+	// ID is the rank's index in [0, World.NRank).
+	ID int
+	// World is the communicator this rank belongs to.
+	World *World
+	// Blocks lists the rank's owned blocks, in ByRank order.
+	Blocks []*decomp.Block
 
 	ctr       Counters
 	clock     float64
@@ -367,6 +382,8 @@ func (s *Stats) MeanCounters() Counters {
 
 // PhaseStat summarizes one phase's virtual time across ranks.
 type PhaseStat struct {
+	// Min, Mean and Max are the extreme and average per-rank virtual
+	// times for the phase.
 	Min, Mean, Max float64
 }
 

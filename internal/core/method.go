@@ -19,9 +19,13 @@ const (
 	MethodChronGear Method = iota
 	// MethodPCG is classic preconditioned conjugate gradients, with two
 	// global reductions per iteration.
+	//
+	//pop:noresilient reference baseline with no degraded mode by design; request-level retry in internal/serve covers it
 	MethodPCG
 	// MethodPipeCG is the Ghysels–Vanroose pipelined CG, overlapping its
 	// single reduction with the preconditioner and matvec.
+	//
+	//pop:noresilient pipelined recurrence has no checkpoint/rollback protocol; request-level retry in internal/serve covers it
 	MethodPipeCG
 	// MethodPCSI is the paper's preconditioned Classical Stiefel Iteration
 	// (Algorithm 2): no reductions outside convergence checks.
@@ -35,6 +39,8 @@ const (
 	// basis (sstep.go): Options.SStep matrix-vector products batched between
 	// single fused global reductions — at most ceil(iters/s)+1 reductions per
 	// converged solve. Float64 only.
+	//
+	//pop:noresilient fused Gram recurrence has no checkpoint/rollback protocol yet (SOLVERS.md); request-level retry in internal/serve covers it
 	MethodSStep
 )
 
@@ -63,44 +69,79 @@ func (m Method) Valid() bool {
 	return m >= MethodChronGear && m <= MethodSStep
 }
 
+// methodSpellings maps every accepted method name onto its enum value, in
+// documentation order with the default spelling first. ParseMethod and
+// MethodNames both read this table — the single source of truth for the
+// accepted spellings, so the lists the api package surfaces in FieldError
+// 400 bodies can never drift from what the parser takes.
+var methodSpellings = []enumSpelling[Method]{
+	{"chrongear", MethodChronGear},
+	{"pcg", MethodPCG},
+	{"pipecg", MethodPipeCG},
+	{"pcsi", MethodPCSI},
+	{"csi", MethodCSI},
+	{"sstep", MethodSStep},
+}
+
+// precondSpellings is the preconditioner spelling table (ParsePrecond,
+// PrecondNames), default spelling first.
+var precondSpellings = []enumSpelling[PrecondType]{
+	{"diagonal", PrecondDiagonal},
+	{"evp", PrecondEVP},
+	{"blocklu", PrecondBlockLU},
+	{"none", PrecondIdentity},
+}
+
+// enumSpelling is one accepted wire spelling of an enum value.
+type enumSpelling[T any] struct {
+	name  string
+	value T
+}
+
+// spellingNames flattens a spelling table to its accepted names, in order.
+func spellingNames[T any](table []enumSpelling[T]) []string {
+	out := make([]string, len(table))
+	for i, sp := range table {
+		out[i] = sp.name
+	}
+	return out
+}
+
+// parseSpelling resolves s against a spelling table ("" selects the first
+// entry's value, the documented default).
+func parseSpelling[T any](table []enumSpelling[T], s, kind string) (T, error) {
+	if s == "" {
+		return table[0].value, nil
+	}
+	for _, sp := range table {
+		if s == sp.name {
+			return sp.value, nil
+		}
+	}
+	var zero T
+	return zero, fmt.Errorf("core: unknown %s %q: %w", kind, s, ErrBadSpec)
+}
+
+// MethodNames lists the spellings ParseMethod accepts ("" selects the
+// first entry). The returned slice is a copy.
+func MethodNames() []string { return spellingNames(methodSpellings) }
+
+// PrecondNames lists the spellings ParsePrecond accepts ("" selects the
+// first entry). The returned slice is a copy.
+func PrecondNames() []string { return spellingNames(precondSpellings) }
+
 // ParseMethod maps a method name ("chrongear", "pcg", "pipecg", "pcsi",
 // "csi", "sstep"; "" selects the ChronGear default) onto its enum value.
 // Unknown names return an error matching errors.Is(err, ErrBadSpec).
 func ParseMethod(s string) (Method, error) {
-	switch s {
-	case "", "chrongear":
-		return MethodChronGear, nil
-	case "pcg":
-		return MethodPCG, nil
-	case "pipecg":
-		return MethodPipeCG, nil
-	case "pcsi":
-		return MethodPCSI, nil
-	case "csi":
-		return MethodCSI, nil
-	case "sstep":
-		return MethodSStep, nil
-	default:
-		return 0, fmt.Errorf("core: unknown method %q: %w", s, ErrBadSpec)
-	}
+	return parseSpelling(methodSpellings, s, "method")
 }
 
 // ParsePrecond maps a preconditioner name ("diagonal", "evp", "blocklu",
 // "none"; "" selects the diagonal default) onto its enum value. Unknown
 // names return an error matching errors.Is(err, ErrBadSpec).
 func ParsePrecond(s string) (PrecondType, error) {
-	switch s {
-	case "", "diagonal":
-		return PrecondDiagonal, nil
-	case "evp":
-		return PrecondEVP, nil
-	case "blocklu":
-		return PrecondBlockLU, nil
-	case "none":
-		return PrecondIdentity, nil
-	default:
-		return 0, fmt.Errorf("core: unknown preconditioner %q: %w", s, ErrBadSpec)
-	}
+	return parseSpelling(precondSpellings, s, "preconditioner")
 }
 
 // SolveContext runs the selected method on right-hand side b with initial

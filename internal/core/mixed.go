@@ -73,18 +73,27 @@ func (p Precision) String() string {
 // Valid reports whether p is one of the defined precisions.
 func (p Precision) Valid() bool { return p == Float64 || p == Float32 }
 
+// precisionSpellings is the precision spelling table (ParsePrecision,
+// PrecisionNames), canonical spellings before their aliases and the
+// default spelling first.
+var precisionSpellings = []enumSpelling[Precision]{
+	{"float64", Float64},
+	{"fp64", Float64},
+	{"double", Float64},
+	{"float32", Float32},
+	{"fp32", Float32},
+	{"single", Float32},
+}
+
+// PrecisionNames lists the spellings ParsePrecision accepts ("" selects
+// the first entry). The returned slice is a copy.
+func PrecisionNames() []string { return spellingNames(precisionSpellings) }
+
 // ParsePrecision maps a precision name ("float64"/"fp64"/"double",
 // "float32"/"fp32"/"single"; "" selects the float64 default) onto its enum
 // value. Unknown names return an error matching errors.Is(err, ErrBadSpec).
 func ParsePrecision(s string) (Precision, error) {
-	switch s {
-	case "", "float64", "fp64", "double":
-		return Float64, nil
-	case "float32", "fp32", "single":
-		return Float32, nil
-	default:
-		return 0, fmt.Errorf("core: unknown precision %q: %w", s, ErrBadSpec)
-	}
+	return parseSpelling(precisionSpellings, s, "precision")
 }
 
 const (

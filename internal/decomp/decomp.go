@@ -34,14 +34,17 @@ type Block struct {
 
 // Decomposition is a block layout of a grid plus the block→rank assignment.
 type Decomposition struct {
+	// G is the grid being decomposed.
 	G                *grid.Grid
 	BlockNx, BlockNy int // nominal block dimensions
 	MX, MY           int // block-grid dimensions
-	Halo             int
-	Blocks           []Block
-	OceanBlocks      []int   // IDs of non-eliminated blocks, SFC order
-	NRanks           int     // 0 until Assign is called
-	ByRank           [][]int // block IDs owned by each rank
+	// Halo is the ghost-cell width around each block.
+	Halo int
+	// Blocks lists every block of the MX×MY layout, land included.
+	Blocks      []Block
+	OceanBlocks []int   // IDs of non-eliminated blocks, SFC order
+	NRanks      int     // 0 until Assign is called
+	ByRank      [][]int // block IDs owned by each rank
 }
 
 // New divides g into blocks of nominal size bx×by with the given halo width

@@ -11,7 +11,9 @@ const EarthRadius = 6.371e6
 // Spec describes a synthetic grid to generate. The zero value is not usable;
 // start from one of the presets or fill every field.
 type Spec struct {
-	Name   string
+	// Name labels the generated grid.
+	Name string
+	// Nx and Ny are the T-point dimensions.
 	Nx, Ny int
 
 	LatMin, LatMax float64 // latitude extent of T-point rows (degrees)

@@ -27,7 +27,9 @@ import "fmt"
 
 // Grid is a horizontal curvilinear ocean grid.
 type Grid struct {
-	Name   string
+	// Name labels the grid preset.
+	Name string
+	// Nx and Ny are the T-point dimensions.
 	Nx, Ny int
 
 	// T-point fields, length Nx*Ny, index j*Nx+i.

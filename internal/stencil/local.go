@@ -9,14 +9,19 @@ package stencil
 // interior (owned) region. Index (i,j) with 0 ≤ i < NxP is flattened
 // j*NxP+i; interior points have H ≤ i < NxP−H, H ≤ j < NyP−H.
 type Local struct {
-	NxP, NyP        int // padded dimensions
-	H               int // halo width
+	NxP, NyP int // padded dimensions
+	H        int // halo width
+	// AC, AN, AE and ANE are the padded nine-point coefficient arrays
+	// (same roles as Operator's, block-local layout).
 	AC, AN, AE, ANE []float64
-	Mask            []bool
+	// Mask marks ocean points (padded layout; false = land or halo fill).
+	Mask []bool
 }
 
-// NxI and NyI return the interior (owned) dimensions.
+// NxI returns the interior (owned) width.
 func (l *Local) NxI() int { return l.NxP - 2*l.H }
+
+// NyI returns the interior (owned) height.
 func (l *Local) NyI() int { return l.NyP - 2*l.H }
 
 // InteriorLen returns the number of owned points.

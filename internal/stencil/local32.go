@@ -11,8 +11,10 @@ package stencil
 // iterative-refinement outer loop (core/mixed.go) absorbs that error in
 // full double precision, so the final solution meets the fp64 tolerance.
 type Local32 struct {
-	NxP, NyP        int // padded dimensions (same layout as Local)
-	H               int // halo width
+	NxP, NyP int // padded dimensions (same layout as Local)
+	H        int // halo width
+	// AC, AN, AE and ANE are the float32 images of the parent Local's
+	// coefficient arrays.
 	AC, AN, AE, ANE []float32
 	Mask            []bool // shared with the parent Local, not copied
 }

@@ -32,6 +32,7 @@ const Gravity = 9.806
 
 // Operator is the assembled nine-point SPD operator on a global grid.
 type Operator struct {
+	// Nx and Ny are the grid's T-point dimensions.
 	Nx, Ny int
 	// Coefficient arrays, length Nx*Ny, POP layout:
 	//   AC(i,j): diagonal;
@@ -41,7 +42,9 @@ type Operator struct {
 	//             the anti-diagonal coupling (i,j)↔(i+1,j−1).
 	AC, AN, AE, ANE []float64
 	Mask            []bool // true = ocean (shared with the source grid)
-	Phi             float64
+	// Phi is the implicit free-surface mass coefficient folded into AC
+	// (see PhiFromTimeStep).
+	Phi float64
 }
 
 // PhiFromTimeStep returns the implicit free-surface mass coefficient

@@ -19,13 +19,21 @@ echo "== go build =="
 go build ./...
 
 echo "== poplint static analysis =="
-# The repo's own analyzer suite (SPMD lockstep, determinism, hot-path
-# allocation, ctx flow, typed errors — see DESIGN.md §10) must run clean:
-# go vet exits nonzero on any diagnostic.
+# The repo's own analyzer suite (SPMD lockstep with interprocedural taint,
+# determinism, hot-path allocation, ctx flow, typed errors — DESIGN.md §10 —
+# plus the protocol-drift trio: wiredrift field parity, faultladder
+# coverage, reductionwidth — DESIGN.md §14) must run clean: go vet exits
+# nonzero on any diagnostic.
 poplint_tmp=$(mktemp -d)
 go build -o "$poplint_tmp/poplint" ./cmd/poplint
 go vet -vettool="$poplint_tmp/poplint" ./...
 rm -rf "$poplint_tmp"
+
+echo "== poplint analyzer suite (race) =="
+# The analyzers' own tests — the wiredrift seeded-drift fixture, the
+# faultladder true-positive fixture, the interprocedural lockstep testdata
+# and the harness — with the test cache defeated so the gate always runs.
+go test -race -count=1 ./internal/analysis/...
 
 echo "== go test -race =="
 go test -race ./...
@@ -75,10 +83,21 @@ ss4=$(go run ./cmd/popsolve -grid test -method sstep -precond evp -cores 12 -thr
     echo "popsolve sstep numerics differ across -threads:"; echo "  1: $ss1"; echo "  4: $ss4"; exit 1; }
 echo "$ss1" | grep -q 'converged=true'
 
+echo "== wire-surface fuzz smoke (10s per target) =="
+# Short-budget native fuzzing of the two places network bytes meet
+# hand-written parsing: the binary frame decoders (totality + byte-level
+# re-encode idempotence) and the enum parsers (ErrBadSpec or a Valid value
+# whose canonical spelling re-parses). Any crash fails the gate; longer
+# budgets belong in CI, not here.
+go test -run=NONE -fuzz=FuzzFrameDecode -fuzztime=10s ./internal/api/
+go test -run=NONE -fuzz=FuzzParseMethod -fuzztime=10s ./internal/core/
+go test -run=NONE -fuzz=FuzzParsePrecond -fuzztime=10s ./internal/core/
+go test -run=NONE -fuzz=FuzzParsePrecision -fuzztime=10s ./internal/core/
+
 echo "== doc coverage + examples =="
-# Every exported identifier of the public surface (pop, internal/serve,
-# internal/faults, internal/analysis and its test harness) must carry a doc
-# comment, and the runnable Example* functions must pass.
+# Every exported identifier of the public surface (pop, serve, faults, obs,
+# analysis + its harness, api, fleet, core, comm, decomp, grid, stencil)
+# must carry a doc comment, and the runnable Example* functions must pass.
 go test -count=1 -run 'TestPublicSurfaceDocumented|Example' .
 
 echo "== chaos / resilience gates (race) =="
